@@ -1,0 +1,1 @@
+"""The benchmark harness package (one module per paper table/figure)."""

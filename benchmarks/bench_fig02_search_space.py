@@ -1,0 +1,68 @@
+"""Figure 2: the CIND search-space funnel on Diseasome (h=10).
+
+Paper numbers for 72,445 triples at support 10:
+
+    all CIND candidates          > 50 billion
+    all CINDs                    > 1.3 billion
+    minimal CINDs                > 219 million
+    candidates w/ freq. cond.    > 77 million
+    broad CIND candidates        > 21 million
+    broad CINDs                  915,647
+    pertinent CINDs              879,637
+    (broad) association rules    690
+
+The full-size funnel reproduces the *candidate* counts and the discovered
+broad/pertinent/AR counts; the exhaustive all-valid/all-minimal counts are
+computed on a scaled-down Diseasome (they are the very quantities whose
+intractability the paper demonstrates — >10^9 at full size).
+"""
+
+from repro.core.stats import search_space_funnel
+from repro.datasets import diseasome
+from benchmarks.conftest import once
+
+PAPER_FUNNEL = {
+    "all CIND candidates": 50_000_000_000,
+    "CIND candidates w/ frequent conditions": 77_000_000,
+    "broad CIND candidates": 21_000_000,
+    "broad CINDs": 915_647,
+    "pertinent CINDs": 879_637,
+    "(broad) association rules": 690,
+}
+
+
+def test_fig02_full_diseasome_funnel(benchmark, report):
+    dataset = diseasome().encode()
+    funnel = once(benchmark, search_space_funnel, dataset, 10)
+
+    section = report.section("Figure 2 — search-space funnel, Diseasome h=10")
+    for label, count in funnel.rows():
+        paper = PAPER_FUNNEL.get(label)
+        paper_text = f"(paper: {paper:,})" if paper else "(paper: n/a at full size)"
+        section.row(f"{label:<44} {count:>16,}  {paper_text}")
+
+    # Shape assertions: each funnel layer strictly shrinks, by orders of
+    # magnitude at the top (the paper's pruning story).
+    assert funnel.all_cind_candidates > 100 * funnel.frequent_condition_candidates
+    assert funnel.frequent_condition_candidates >= funnel.broad_cind_candidates
+    assert funnel.broad_cind_candidates > funnel.broad_cinds
+    assert funnel.broad_cinds >= funnel.pertinent_cinds
+    assert funnel.pertinent_cinds > funnel.association_rules
+
+
+def test_fig02_exhaustive_funnel_scaled(benchmark, report):
+    dataset = diseasome(scale=0.012).encode()
+    funnel = once(benchmark, search_space_funnel, dataset, 2, None, True)
+
+    section = report.section(
+        f"Figure 2 (exhaustive layers) — Diseasome scaled to "
+        f"{funnel.triples:,} triples, h=2"
+    )
+    for label, count in funnel.rows():
+        section.row(f"{label:<44} {count:>16,}")
+
+    assert funnel.valid_cinds is not None and funnel.minimal_cinds is not None
+    # The paper's containments: candidates > valid > minimal > broad ∩ minimal.
+    assert funnel.all_cind_candidates > funnel.valid_cinds
+    assert funnel.valid_cinds > funnel.minimal_cinds
+    assert funnel.minimal_cinds > funnel.pertinent_cinds

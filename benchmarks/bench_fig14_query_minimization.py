@@ -1,0 +1,83 @@
+"""Figure 14 / Appendix B: CIND-based SPARQL query minimization.
+
+The paper minimizes LUBM query Q2 from six triple patterns to three using
+discovered CINDs and measures a 3x speed-up in RDF-3X (cold caches:
+171.2ms -> 144ms; warm caches: 31ms -> 10.8ms).  Here the same rewrite is
+derived from this reproduction's discovered CINDs and executed on the
+mini BGP engine; the cold/warm distinction maps to first/second execution
+(index structures and interpreter state warm)."""
+
+import time
+
+from repro.datasets import lubm
+from repro.rdf.store import TripleStore
+from repro.sparql import QueryMinimizer, evaluate, lubm_q1, lubm_q2
+from repro.core.discovery import find_pertinent_cinds
+
+
+def test_fig14_lubm_q2_minimization(benchmark, report):
+    dataset = lubm()
+    store = TripleStore.from_dataset(dataset)
+    result = find_pertinent_cinds(dataset.encode(), support_threshold=10)
+    minimizer = QueryMinimizer.from_discovery(result)
+    minimization = minimizer.minimize(lubm_q2())
+
+    assert len(minimization.minimized.patterns) == 3, "Q2 must shrink 6 -> 3"
+
+    def run_pair():
+        timings = {}
+        for label, query in (
+            ("original Q2", lubm_q2()),
+            ("minimized Q2", minimization.minimized),
+        ):
+            cold_start = time.perf_counter()
+            rows_cold, stats = evaluate(store, query)
+            cold = time.perf_counter() - cold_start
+            warm_start = time.perf_counter()
+            rows_warm, _stats = evaluate(store, query)
+            warm = time.perf_counter() - warm_start
+            assert rows_cold == rows_warm
+            timings[label] = (cold, warm, stats, rows_cold)
+        return timings
+
+    timings = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+
+    original_rows = timings["original Q2"][3]
+    minimized_rows = timings["minimized Q2"][3]
+    assert original_rows == minimized_rows and original_rows
+
+    section = report.section(
+        "Figure 14 — LUBM Q2 query minimization "
+        "(paper: 3x faster, 171.2->144ms cold / 31->10.8ms warm in RDF-3X)"
+    )
+    section.row(f"{'query':<14} | {'cold':>9} | {'warm':>9} | {'joins':>6} | {'probes':>8}")
+    for label, (cold, warm, stats, _rows) in timings.items():
+        section.row(
+            f"{label:<14} | {cold * 1000:>7.1f}ms | {warm * 1000:>7.1f}ms | "
+            f"{stats.joins:>6} | {stats.index_probes:>8,}"
+        )
+    for step in minimization.removed:
+        section.row("  " + step.describe())
+
+    original_cold = timings["original Q2"][0]
+    minimized_cold = timings["minimized Q2"][0]
+    section.row(
+        f"speed-up: {original_cold / minimized_cold:.2f}x (paper: ~3x); "
+        f"results: {len(original_rows)} rows, identical"
+    )
+    assert minimized_cold < original_cold
+
+
+def test_fig14_control_query_q1(benchmark, report):
+    """Q1's type pattern is load-bearing; minimization must not touch it."""
+
+    def body():
+        dataset = lubm(scale=0.3)
+        result = find_pertinent_cinds(dataset.encode(), support_threshold=10)
+        minimizer = QueryMinimizer.from_discovery(result)
+        return minimizer.minimize(lubm_q1())
+
+    minimization = benchmark.pedantic(body, rounds=1, iterations=1)
+    assert len(minimization.minimized.patterns) == 2
+    section = report.section("Figure 14 control — LUBM Q1 (not minimizable)")
+    section.row("Q1 unchanged: its rdf:type pattern restricts the result")

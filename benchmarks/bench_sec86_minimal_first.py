@@ -1,0 +1,49 @@
+"""Section 8.6: why not minimal CINDs first?
+
+The paper prototyped a multi-pass strategy that extracts only potentially
+minimal CINDs per pass and found it "up to 3 times slower even than
+RDFind-DE", concluding that extract-then-consolidate is the right design.
+This bench reruns that comparison (the outputs are identical — the test
+suite asserts so — only the runtimes differ).
+"""
+
+import time
+
+import pytest
+
+from repro.baselines import minimal_first_discover
+
+SETTINGS = (("Countries", 10), ("Countries", 100), ("Diseasome", 100))
+
+
+@pytest.mark.parametrize(
+    "dataset_name,h", SETTINGS, ids=[f"{n}-h{h}" for n, h in SETTINGS]
+)
+def test_sec86_minimal_first_vs_rdfind(dataset_name, h, benchmark, report, cache):
+    encoded = cache.dataset(dataset_name)
+
+    def body():
+        _result, rdfind_seconds = cache.run(dataset_name, h)
+        _de_result, de_seconds = cache.run(dataset_name, h, variant="de")
+        started = time.perf_counter()
+        mf_result = minimal_first_discover(encoded, h=h, parallelism=4)
+        mf_seconds = time.perf_counter() - started
+        return rdfind_seconds, de_seconds, mf_seconds, len(mf_result.cinds)
+
+    rdfind_seconds, de_seconds, mf_seconds, n_cinds = benchmark.pedantic(
+        body, rounds=1, iterations=1
+    )
+
+    section = report.section(
+        f"Section 8.6 — minimal-first strategy, {dataset_name} h={h} "
+        "(paper: up to 3x slower than RDFind-DE)"
+    )
+    section.row(
+        f"RDFind {rdfind_seconds:6.2f}s | RDFind-DE {de_seconds:6.2f}s | "
+        f"minimal-first {mf_seconds:6.2f}s "
+        f"({mf_seconds / max(de_seconds, 1e-9):.2f}x of DE) | "
+        f"{n_cinds:,} pertinent CINDs (identical output)"
+    )
+
+    # Shape: the multi-pass strategy never beats the production design.
+    assert mf_seconds > de_seconds * 0.9

@@ -1,0 +1,64 @@
+"""Use case: cross-dataset CINDs for data integration.
+
+Treats two of the synthetic sources — the geographic Countries dataset
+and the encyclopedic DB14-MPCE dataset — as independent datasets to be
+integrated, and mines the cross-dataset inclusions that reveal join
+paths and schema correspondences between them.
+
+Run with::
+
+    python examples/data_integration.py
+"""
+
+from repro.apps.integration import discover_cross_cinds
+from repro.datasets import countries, lubm
+from repro.rdf.model import Dataset, Triple
+
+
+def main() -> None:
+    # Two sources about overlapping universities: the LUBM instance and a
+    # small "rankings" source that references the same university URIs.
+    lubm_data = lubm(scale=0.3)
+    lubm_data.name = "LUBM"
+
+    rankings = Dataset(
+        [
+            Triple(f"university{index}", "rankedBy", "qs")
+            for index in range(0, 800, 2)
+        ]
+        + [
+            Triple(f"university{index}", "rankScore", f'"{900 - index}"')
+            for index in range(0, 800, 2)
+        ],
+        name="Rankings",
+    )
+
+    report = discover_cross_cinds(rankings, lubm_data, h=25)
+    print(report.describe(limit=10))
+
+    # The integration insight: everything the rankings source talks about
+    # is a university in LUBM — its subjects join LUBM's typed entities.
+    rendered = {report.render(row) for row in report.cinds}
+    assert any(
+        "[Rankings] (s, p=rankedBy) ⊆ [LUBM] (s, p=rdf:type ∧ o=University)"
+        in line
+        for line in rendered
+    ), "the join path to LUBM's university entities must be discovered"
+
+    joins = report.join_paths()
+    if joins:
+        print("\nforeign-key style join paths (object side -> entity side):")
+        for row in joins[:5]:
+            print("  " + report.render(row))
+    else:
+        print(
+            "\n(no object->subject joins here: the sources align on the "
+            "same entity URIs, a same-as correspondence rather than a "
+            "foreign key)"
+        )
+
+    print("\ncross-dataset join path recovered ✔")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Demo: maintaining CINDs while triples stream in.
+
+Feeds the Countries dataset to the incremental maintainer in batches,
+querying the pertinent set after each batch, and shows how little work
+each update needs compared to re-running discovery from scratch.
+
+Run with::
+
+    python examples/incremental_maintenance.py
+"""
+
+import time
+
+from repro import find_pertinent_cinds
+from repro.core.incremental import IncrementalRDFind
+from repro.datasets import countries
+
+
+def main() -> None:
+    dataset = list(countries(scale=0.5))
+    h = 10
+    batch_size = len(dataset) // 5
+    print(f"{len(dataset):,} triples arriving in 5 batches, h={h}\n")
+
+    maintainer = IncrementalRDFind(h=h)
+    print(f"{'batch':>6} | {'triples':>8} | {'CINDs':>7} | {'recomputed':>11} | {'query':>8}")
+    for batch_index in range(5):
+        batch = dataset[batch_index * batch_size : (batch_index + 1) * batch_size]
+        maintainer.add_all(batch)
+        before = maintainer.stats.dependents_recomputed
+        started = time.perf_counter()
+        pertinent = maintainer.pertinent_cinds()
+        elapsed = time.perf_counter() - started
+        recomputed = maintainer.stats.dependents_recomputed - before
+        print(
+            f"{batch_index + 1:>6} | {maintainer.triples:>8,} | "
+            f"{len(pertinent):>7,} | {recomputed:>11,} | {elapsed * 1000:>6.1f}ms"
+        )
+
+    # Idle query: nothing dirty, nothing recomputed.
+    before = maintainer.stats.dependents_recomputed
+    maintainer.pertinent_cinds()
+    print(
+        f"\nidle re-query recomputed "
+        f"{maintainer.stats.dependents_recomputed - before} dependents"
+    )
+
+    # Sanity: the final state matches batch discovery (modulo the
+    # AR-equivalence rewriting the maintainer intentionally skips).
+    snapshot = maintainer.as_dataset()
+    batch_result = find_pertinent_cinds(snapshot.encode(), support_threshold=h)
+    print(
+        f"batch re-discovery on the same snapshot: "
+        f"{len(batch_result.cinds):,} pertinent CINDs "
+        f"(maintainer: {len(maintainer.pertinent_cinds()):,}; the counts "
+        f"differ only by AR-equivalence rewriting)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Use case: knowledge discovery (paper Appendix B).
+
+Low-support CINDs reveal instance-level facts that are not explicitly
+stated in the data.  This example recovers the paper's three showcases:
+
+* the AC/DC fact — Angus and Malcolm Young wrote all their songs
+  together (mutual CINDs with support 26);
+* area code 559 lies entirely within California (support 98);
+* everything one drug targets is targeted by another (support 14).
+
+Run with::
+
+    python examples/knowledge_discovery.py
+"""
+
+from repro import find_pertinent_cinds
+from repro.apps import discover_knowledge
+from repro.datasets import db14_mpce, drugbank
+
+
+def main() -> None:
+    print("=== DB14-MPCE (DBpedia-like) ===")
+    result = find_pertinent_cinds(db14_mpce().encode(), support_threshold=25)
+    facts = discover_knowledge(result, min_support=20)
+    equivalences = [f for f in facts if f.kind == "equivalence"]
+    rules = [f for f in facts if f.kind == "rule"]
+    print(f"{len(rules)} rules, {len(equivalences)} equivalences; highlights:")
+    for fact in facts:
+        text = fact.describe()
+        if "Young" in text or "559" in text:
+            print("  " + text)
+
+    rendered = {f.describe() for f in facts}
+    assert any("Angus_Young" in r and "Malcolm_Young" in r for r in rendered)
+    assert any('areaCode="559"' in r and "California" in r for r in rendered)
+
+    print("\n=== DrugBank ===")
+    result = find_pertinent_cinds(drugbank().encode(), support_threshold=10)
+    facts = discover_knowledge(result, min_support=10)
+    drug_rules = [
+        f for f in facts
+        if f.kind == "rule" and "drug/" in f.lhs and "drug/" in f.rhs
+    ]
+    print(f"{len(drug_rules)} drug-target rules; the paper's pattern:")
+    for fact in drug_rules[:5]:
+        print("  " + fact.describe())
+    assert any(f.support == 14 for f in drug_rules), "planted support-14 rule"
+
+    print("\npaper examples recovered ✔")
+
+
+if __name__ == "__main__":
+    main()

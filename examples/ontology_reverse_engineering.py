@@ -1,0 +1,58 @@
+"""Use case: ontology reverse engineering (paper Appendix B).
+
+Discovers CINDs on the DBpedia-like DB14-MPCE dataset and mines
+schema-level suggestions from them: class hierarchies (the paper's
+``Leptodactylidae ⊑ Frog``), predicate hierarchies
+(``associatedBand ⊑ associatedMusicalArtist``), and predicate
+domains/ranges.
+
+Run with::
+
+    python examples/ontology_reverse_engineering.py
+"""
+
+from collections import Counter
+
+from repro import find_pertinent_cinds
+from repro.apps import reverse_engineer_ontology
+from repro.datasets import db14_mpce
+
+
+def main() -> None:
+    dataset = db14_mpce()
+    print(f"generated {len(dataset):,} DB14-MPCE triples")
+
+    result = find_pertinent_cinds(dataset.encode(), support_threshold=25)
+    print(
+        f"discovered {len(result.cinds):,} pertinent CINDs, "
+        f"{len(result.association_rules):,} ARs"
+    )
+
+    hints = reverse_engineer_ontology(result, min_support=25)
+    by_kind = Counter(hint.kind for hint in hints)
+    print(f"\n{len(hints)} ontology hints: {dict(by_kind)}")
+
+    for kind, title in (
+        ("subclass", "class hierarchy (rdfs:subClassOf candidates)"),
+        ("subproperty", "predicate hierarchy (rdfs:subPropertyOf candidates)"),
+        ("domain", "predicate domains"),
+        ("range", "predicate ranges"),
+        ("class", "classes detected from association rules"),
+    ):
+        rows = [hint for hint in hints if hint.kind == kind]
+        print(f"\n{title} ({len(rows)}):")
+        for hint in rows[:8]:
+            print("  " + hint.describe())
+
+    # The paper's flagship examples must be among the suggestions.
+    rendered = {hint.describe() for hint in hints}
+    assert any("Leptodactylidae rdfs:subClassOf Frog" in r for r in rendered)
+    assert any(
+        "associatedBand rdfs:subPropertyOf associatedMusicalArtist" in r
+        for r in rendered
+    )
+    print("\npaper examples recovered ✔")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Use case: SPARQL query minimization with CINDs (paper Figure 14).
+
+Generates a LUBM instance, discovers its pertinent CINDs, and uses them
+to rewrite LUBM query Q2 from six triple patterns (five joins) down to
+three (two joins) — then executes both forms on the mini BGP engine and
+verifies identical results plus the speed-up.
+
+Run with::
+
+    python examples/query_minimization.py
+"""
+
+import time
+
+from repro import find_pertinent_cinds
+from repro.datasets import lubm
+from repro.rdf.store import TripleStore
+from repro.sparql import QueryMinimizer, evaluate, lubm_q1, lubm_q2
+
+
+def main() -> None:
+    dataset = lubm()
+    print(f"generated {len(dataset):,} LUBM triples")
+
+    started = time.perf_counter()
+    result = find_pertinent_cinds(dataset.encode(), support_threshold=10)
+    print(
+        f"discovered {len(result.cinds):,} pertinent CINDs and "
+        f"{len(result.association_rules):,} ARs "
+        f"in {time.perf_counter() - started:.1f}s"
+    )
+
+    minimizer = QueryMinimizer.from_discovery(result)
+
+    report = minimizer.minimize(lubm_q2())
+    print("\n" + report.describe())
+
+    store = TripleStore.from_dataset(dataset)
+    rows_original, stats_original = evaluate(store, lubm_q2())
+    rows_minimized, stats_minimized = evaluate(store, report.minimized)
+    assert rows_original == rows_minimized
+    print(f"\nboth forms return {len(rows_original)} rows")
+    print(f"original:  {stats_original.describe()}")
+    print(f"minimized: {stats_minimized.describe()}")
+    speedup = stats_original.elapsed_seconds / stats_minimized.elapsed_seconds
+    print(f"speed-up: {speedup:.2f}x (the paper measured ~3x in RDF-3X)")
+
+    # Control: Q1's rdf:type pattern is load-bearing (undergraduates take
+    # courses too), so a sound minimizer must not touch it.
+    control = minimizer.minimize(lubm_q1())
+    assert len(control.minimized.patterns) == 2
+    print("\ncontrol query Q1 left unchanged (its type pattern is not redundant)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Kept so that offline environments without the ``wheel`` package can still
+do a legacy editable install (``pip install -e . --no-use-pep517``); all
+real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

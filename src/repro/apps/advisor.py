@@ -1,0 +1,157 @@
+"""Support-threshold advisor (the paper's first future-work item).
+
+Section 10: "it would be helpful to (inter-)actively aid users in
+determining an appropriate support threshold to find the relevant cinds
+for their applications".  This module implements that aid: from one cheap
+pass over the dataset it derives the condition-frequency and
+capture-support distributions (the quantities that govern both runtime,
+Figure 10, and result size, Figure 11) and recommends thresholds per use
+case, together with estimates of how many captures (and hence how much
+work and output) each candidate threshold admits.
+
+The paper's rules of thumb anchor the recommendations: "h=1,000 is a
+reasonable choice for the query minimization use case and h=25 for the
+knowledge discovery use case", scaled to the dataset at hand via the
+capture-support distribution.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.cind import Capture
+from repro.core.conditions import ConditionScope, conditions_of_triple
+from repro.rdf.model import Dataset, EncodedDataset
+
+#: The paper's reference thresholds, stated for datasets of roughly
+#: DBpedia scale (tens of millions of triples).
+PAPER_QUERY_MINIMIZATION_H = 1000
+PAPER_KNOWLEDGE_DISCOVERY_H = 25
+PAPER_REFERENCE_TRIPLES = 33_000_000
+
+
+@dataclass
+class ThresholdRecommendation:
+    """One use-case recommendation."""
+
+    use_case: str
+    h: int
+    broad_captures: int
+    frequent_conditions: int
+    rationale: str
+
+    def describe(self) -> str:
+        """Human-readable form."""
+        return (
+            f"{self.use_case}: h={self.h} "
+            f"({self.broad_captures:,} broad captures, "
+            f"{self.frequent_conditions:,} frequent conditions) — "
+            f"{self.rationale}"
+        )
+
+
+@dataclass
+class ThresholdReport:
+    """Everything the advisor derived from a dataset."""
+
+    triples: int
+    distinct_conditions: int
+    condition_frequencies: Dict[int, int]
+    capture_supports: List[int] = field(repr=False, default_factory=list)
+    recommendations: List[ThresholdRecommendation] = field(default_factory=list)
+
+    def broad_captures_at(self, h: int) -> int:
+        """How many captures have support >= h (dependents of broad CINDs)."""
+        index = bisect.bisect_left(self.capture_supports, h)
+        return len(self.capture_supports) - index
+
+    def frequent_conditions_at(self, h: int) -> int:
+        """How many conditions have frequency >= h."""
+        return sum(
+            count
+            for frequency, count in self.condition_frequencies.items()
+            if frequency >= h
+        )
+
+    def sweep(self, thresholds: Tuple[int, ...] = (1, 5, 10, 25, 100, 1000)) -> List[Tuple[int, int, int]]:
+        """(h, frequent conditions, broad captures) rows for a threshold sweep."""
+        return [
+            (h, self.frequent_conditions_at(h), self.broad_captures_at(h))
+            for h in thresholds
+        ]
+
+    def describe(self) -> str:
+        """Multi-line report."""
+        lines = [
+            f"{self.triples:,} triples, {self.distinct_conditions:,} distinct conditions",
+            f"{'h':>7} | {'freq. conditions':>17} | {'broad captures':>15}",
+        ]
+        for h, conditions, captures in self.sweep():
+            lines.append(f"{h:>7} | {conditions:>17,} | {captures:>15,}")
+        lines.extend("  " + rec.describe() for rec in self.recommendations)
+        return "\n".join(lines)
+
+
+def recommend_support_threshold(
+    dataset: Union[Dataset, EncodedDataset],
+    scope: Optional[ConditionScope] = None,
+    target_broad_captures: int = 2_000,
+) -> ThresholdReport:
+    """Analyze a dataset and recommend support thresholds.
+
+    ``target_broad_captures`` bounds the number of candidate dependent
+    captures a run should admit; the advisor picks, per use case, the
+    smallest threshold (not below the use case's floor) that stays within
+    roughly that budget — mirroring how the paper's Figure 10/11 sweeps
+    trade runtime against result size.
+    """
+    if isinstance(dataset, Dataset):
+        dataset = dataset.encode()
+    scope = scope if scope is not None else ConditionScope.full()
+
+    frequencies: Counter = Counter()
+    capture_values: set = set()
+    for triple in dataset:
+        for condition in conditions_of_triple(triple, scope):
+            frequencies[condition] += 1
+            used = set(condition.attrs)
+            for attr in scope.projection_attrs:
+                if attr not in used:
+                    capture_values.add(
+                        (Capture(attr, condition), triple[int(attr)])
+                    )
+
+    supports: Counter = Counter(capture for capture, _value in capture_values)
+    report = ThresholdReport(
+        triples=len(dataset),
+        distinct_conditions=len(frequencies),
+        condition_frequencies=dict(Counter(frequencies.values())),
+        capture_supports=sorted(supports.values()),
+    )
+
+    scale = max(len(dataset) / PAPER_REFERENCE_TRIPLES, 1e-6)
+    for use_case, paper_h, floor in (
+        ("query minimization", PAPER_QUERY_MINIMIZATION_H, 25),
+        ("knowledge discovery", PAPER_KNOWLEDGE_DISCOVERY_H, 5),
+    ):
+        scaled_floor = max(floor, int(round(paper_h * scale)))
+        h = scaled_floor
+        while report.broad_captures_at(h) > target_broad_captures:
+            h = h * 2 if h >= 10 else h + 5
+        report.recommendations.append(
+            ThresholdRecommendation(
+                use_case=use_case,
+                h=h,
+                broad_captures=report.broad_captures_at(h),
+                frequent_conditions=report.frequent_conditions_at(h),
+                rationale=(
+                    f"paper reference h={paper_h} at {PAPER_REFERENCE_TRIPLES:,} "
+                    f"triples, scaled to this dataset and capped at "
+                    f"~{target_broad_captures:,} broad captures"
+                ),
+            )
+        )
+    return report

@@ -1,0 +1,133 @@
+"""Knowledge discovery from CINDs (paper Appendix B).
+
+CINDs reveal instance-level facts not explicitly stated in the data:
+
+* **co-occurrence rules** — ``(s, p=P1 ∧ o=V1) ⊆ (s, p=P2 ∧ o=V2)`` says
+  "everything with ``P1 = V1`` also has ``P2 = V2``" (the paper's
+  area-code-559-implies-California and drug-target examples);
+* **equivalences** — the same inclusion in both directions says the two
+  value assignments select exactly the same entities (the paper's
+  Angus/Malcolm Young co-writer example).
+
+As with the other CIND consumers, AR-canonicalized unary conditions are
+expanded back through the run's association rules where possible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional, Set, Tuple
+
+from repro.core.cind import decode_capture, decode_condition
+from repro.core.conditions import BinaryCondition, Condition
+from repro.core.discovery import DiscoveryResult
+from repro.rdf.model import Attr
+
+
+class KnowledgeFact(NamedTuple):
+    """One mined fact."""
+
+    kind: str  # "rule" | "equivalence"
+    lhs: str
+    rhs: str
+    support: int
+
+    def describe(self) -> str:
+        """Human-readable form."""
+        arrow = "≡" if self.kind == "equivalence" else "⇒"
+        return f"{self.lhs} {arrow} {self.rhs}  [support={self.support}]"
+
+
+def _fact_side(
+    condition: Condition, value_predicates: Dict[str, str]
+) -> Optional[str]:
+    """A human-readable reading of a condition as a fact side.
+
+    ``p=P ∧ o=V`` reads as ``P=V``; the AR-canonical unary form ``o=V``
+    expands through the rule ``o=V → p=P`` to the same reading; subject
+    conditions like ``s=X ∧ p=target`` (the paper's drug example) read as
+    ``X.target``.  Conditions without a value component (plain predicate
+    selections) carry no instance-level fact and yield ``None``.
+    """
+    if isinstance(condition, BinaryCondition):
+        parts = dict((part.attr, part.value) for part in condition.unary_parts())
+        if Attr.P in parts and Attr.O in parts:
+            return f"{parts[Attr.P]}={parts[Attr.O]}"
+        if Attr.S in parts and Attr.P in parts:
+            return f"{parts[Attr.S]}.{parts[Attr.P]}"
+        if Attr.S in parts and Attr.O in parts:
+            return f"s={parts[Attr.S]} ∧ o={parts[Attr.O]}"
+        return None
+    if condition.attr == Attr.O and condition.value in value_predicates:
+        return f"{value_predicates[condition.value]}={condition.value}"
+    return None
+
+
+def _is_type_condition(
+    condition: Condition, type_predicate: str, value_predicates: Dict[str, str]
+) -> bool:
+    """Does the condition select by ``rdf:type`` (directly or via an AR)?"""
+    if isinstance(condition, BinaryCondition):
+        parts = dict((part.attr, part.value) for part in condition.unary_parts())
+        return parts.get(Attr.P) == type_predicate
+    if condition.attr == Attr.O:
+        return value_predicates.get(condition.value) == type_predicate
+    return False
+
+
+def discover_knowledge(
+    result: DiscoveryResult,
+    min_support: int = 1,
+    type_predicate: str = "rdf:type",
+) -> List[KnowledgeFact]:
+    """Mine co-occurrence rules and equivalences from a discovery result.
+
+    Class-hierarchy inclusions (both sides typed via ``type_predicate``)
+    are left to :func:`repro.apps.ontology.reverse_engineer_ontology`.
+    """
+    dictionary = result.dictionary
+
+    # ARs o=V -> p=P license reading the unary condition o=V as "P = V".
+    value_predicates: Dict[str, str] = {}
+    for supported in result.association_rules:
+        lhs_condition = decode_condition(supported.rule.lhs, dictionary)
+        rhs_condition = decode_condition(supported.rule.rhs, dictionary)
+        if lhs_condition.attr == Attr.O and rhs_condition.attr == Attr.P:
+            value_predicates.setdefault(lhs_condition.value, rhs_condition.value)
+
+    inclusions: Dict[Tuple[str, str, Attr], int] = {}
+
+    for supported in result.cinds:
+        if supported.support < min_support:
+            continue
+        dependent = decode_capture(supported.cind.dependent, dictionary)
+        referenced = decode_capture(supported.cind.referenced, dictionary)
+        if dependent.attr != referenced.attr:
+            continue
+        if _is_type_condition(
+            dependent.condition, type_predicate, value_predicates
+        ) and _is_type_condition(
+            referenced.condition, type_predicate, value_predicates
+        ):
+            continue  # class hierarchy — the ontology app's business
+        lhs = _fact_side(dependent.condition, value_predicates)
+        rhs = _fact_side(referenced.condition, value_predicates)
+        if lhs is None or rhs is None:
+            continue
+        inclusions[(lhs, rhs, dependent.attr)] = supported.support
+
+    facts: List[KnowledgeFact] = []
+    emitted_equivalences: Set[Tuple] = set()
+    for (lhs, rhs, attr), support in inclusions.items():
+        reverse = inclusions.get((rhs, lhs, attr))
+        if reverse is not None:
+            key = (frozenset((lhs, rhs)), attr)
+            if key in emitted_equivalences:
+                continue
+            emitted_equivalences.add(key)
+            facts.append(
+                KnowledgeFact("equivalence", lhs, rhs, min(support, reverse))
+            )
+        else:
+            facts.append(KnowledgeFact("rule", lhs, rhs, support))
+    facts.sort(key=lambda fact: (fact.kind, -fact.support, fact.lhs))
+    return facts

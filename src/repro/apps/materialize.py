@@ -1,0 +1,110 @@
+"""Materializing discovered schema hints as RDFS triples.
+
+Closes the ontology-reverse-engineering loop (Appendix B): the hints
+mined by :func:`repro.apps.ontology.reverse_engineer_ontology` become an
+RDF dataset using the RDFS vocabulary —
+
+========================  =========================================
+hint kind                 emitted triple
+========================  =========================================
+``subclass``              ``C1 rdfs:subClassOf C2``
+``subproperty``           ``P1 rdfs:subPropertyOf P2``
+``domain``                ``P rdfs:domain C``
+``range``                 ``P rdfs:range C``
+``class``                 ``C rdf:type rdfs:Class``
+========================  =========================================
+
+— which can be serialized as N-Triples, loaded into a store, or merged
+back into the instance data.  Mutually-subsuming class pairs (equal
+extents produce subclass hints both ways) are optionally collapsed into
+``owl:equivalentClass`` statements.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.apps.ontology import OntologyHint
+from repro.rdf.model import Dataset, Triple
+from repro.rdf.namespaces import OWL, RDF, RDFS
+
+
+def materialize_ontology(
+    hints: Iterable[OntologyHint],
+    collapse_equivalences: bool = True,
+    min_support: int = 1,
+) -> Dataset:
+    """Turn ontology hints into an RDFS/OWL dataset.
+
+    With ``collapse_equivalences`` (default), subclass hints that occur in
+    both directions between the same two classes are emitted as a single
+    ``owl:equivalentClass`` statement instead of a cycle.
+    """
+    rows = [hint for hint in hints if hint.support >= min_support]
+
+    subclass_pairs: Set[Tuple[str, str]] = {
+        (hint.subject, hint.object) for hint in rows if hint.kind == "subclass"
+    }
+    equivalent: Set[Tuple[str, str]] = set()
+    if collapse_equivalences:
+        for subject, obj in subclass_pairs:
+            if (obj, subject) in subclass_pairs and subject < obj:
+                equivalent.add((subject, obj))
+
+    triples: List[Triple] = []
+    emitted_classes: Set[str] = set()
+    for hint in rows:
+        if hint.kind == "subclass":
+            pair = tuple(sorted((hint.subject, hint.object)))
+            if pair in equivalent:
+                continue  # handled below
+            triples.append(
+                Triple(hint.subject, RDFS.subClassOf, hint.object)
+            )
+        elif hint.kind == "subproperty":
+            triples.append(
+                Triple(hint.subject, RDFS.subPropertyOf, hint.object)
+            )
+        elif hint.kind == "domain":
+            triples.append(Triple(hint.subject, RDFS.domain, hint.object))
+        elif hint.kind == "range":
+            triples.append(Triple(hint.subject, RDFS.range, hint.object))
+        elif hint.kind == "class":
+            if hint.subject not in emitted_classes:
+                emitted_classes.add(hint.subject)
+                triples.append(Triple(hint.subject, RDF.type, RDFS.Class))
+
+    for subject, obj in sorted(equivalent):
+        triples.append(Triple(subject, OWL.equivalentClass, obj))
+
+    return Dataset(triples, name="materialized-ontology")
+
+
+def subclass_closure(ontology: Dataset) -> Dict[str, Set[str]]:
+    """Transitive closure of the emitted ``rdfs:subClassOf`` statements.
+
+    Useful for validating the materialized hierarchy (acyclic once
+    equivalences are collapsed) and for downstream reasoning.
+    """
+    direct: Dict[str, Set[str]] = {}
+    for triple in ontology:
+        if triple.p == RDFS.subClassOf:
+            direct.setdefault(triple.s, set()).add(triple.o)
+
+    closure: Dict[str, Set[str]] = {}
+
+    def ancestors(node: str, trail: Tuple[str, ...]) -> Set[str]:
+        if node in closure:
+            return closure[node]
+        if node in trail:
+            raise ValueError(f"subclass cycle through {node!r}")
+        found: Set[str] = set()
+        for parent in direct.get(node, ()):
+            found.add(parent)
+            found |= ancestors(parent, trail + (node,))
+        closure[node] = found
+        return found
+
+    for node in list(direct):
+        ancestors(node, ())
+    return closure

@@ -1,0 +1,186 @@
+"""Ontology reverse engineering from CINDs (paper Appendix B).
+
+RDF data often ships without an ontology (or violates it); CINDs recover
+schema-level statements from the instance data:
+
+* **class hierarchy** — ``(s, p=rdf:type ∧ o=C1) ⊆ (s, p=rdf:type ∧ o=C2)``
+  suggests ``C1 rdfs:subClassOf C2`` (the paper's
+  ``Leptodactylidae ⊆ Frog`` example);
+* **predicate hierarchy** — ``(s, p=P1) ⊆ (s, p=P2)`` *and*
+  ``(o, p=P1) ⊆ (o, p=P2)`` together suggest
+  ``P1 rdfs:subPropertyOf P2`` (the paper's
+  ``associatedBand ⊑ associatedMusicalArtist`` example);
+* **domain/range** — ``(s, p=P) ⊆ (s, p=rdf:type ∧ o=C)`` suggests
+  ``domain(P) = C``; the ``(o, p=P) ⊆ ...`` variant suggests the range;
+* **class detection** — an AR ``o=C → p=rdf:type`` reveals that ``C`` is
+  used as a class (the paper's ``lmdb:performance`` example).
+
+Because RDFind replaces AR-equivalent binary captures with their unary
+twin, conditions are canonicalized through the result's ARs before
+matching (e.g. ``(s, o=Frog)`` counts as typed-``Frog`` when
+``o=Frog → p=rdf:type`` is a rule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, NamedTuple, Optional, Set, Tuple
+
+from repro.core.cind import (
+    CIND,
+    Capture,
+    decode_capture,
+    decode_condition,
+)
+from repro.core.conditions import BinaryCondition, Condition, UnaryCondition
+from repro.core.discovery import DiscoveryResult
+from repro.rdf.model import Attr
+
+#: The predicate whose objects are classes.
+DEFAULT_TYPE_PREDICATE = "rdf:type"
+
+
+class OntologyHint(NamedTuple):
+    """One schema-level suggestion mined from the CINDs."""
+
+    kind: str  # "subclass" | "subproperty" | "domain" | "range" | "class"
+    subject: str
+    object: str
+    support: int
+
+    def describe(self) -> str:
+        """Human-readable form."""
+        templates = {
+            "subclass": "{s} rdfs:subClassOf {o}",
+            "subproperty": "{s} rdfs:subPropertyOf {o}",
+            "domain": "domain({s}) = {o}",
+            "range": "range({s}) = {o}",
+            "class": "{s} is a class (all occurrences typed via {o})",
+        }
+        body = templates[self.kind].format(s=self.subject, o=self.object)
+        return f"{body}  [support={self.support}]"
+
+
+def _typed_class(
+    condition: Condition,
+    type_predicate: str,
+    class_rules: Dict[str, str],
+) -> Optional[str]:
+    """The class ``C`` if the condition means "typed C", else None.
+
+    Handles both the explicit binary form ``p=rdf:type ∧ o=C`` and the
+    AR-canonicalized unary form ``o=C`` (valid when ``o=C → p=rdf:type``
+    is a known rule).
+    """
+    if isinstance(condition, BinaryCondition):
+        parts = dict(
+            (part.attr, part.value) for part in condition.unary_parts()
+        )
+        if parts.get(Attr.P) == type_predicate and Attr.O in parts:
+            return parts[Attr.O]
+        return None
+    if condition.attr == Attr.O and condition.value in class_rules:
+        return condition.value
+    return None
+
+
+def _unary_predicate(condition: Condition) -> Optional[str]:
+    """The predicate ``P`` if the condition is ``p=P``, else None."""
+    if isinstance(condition, UnaryCondition) and condition.attr == Attr.P:
+        return condition.value
+    return None
+
+
+def reverse_engineer_ontology(
+    result: DiscoveryResult,
+    type_predicate: str = DEFAULT_TYPE_PREDICATE,
+    min_support: int = 1,
+) -> List[OntologyHint]:
+    """Mine schema suggestions from a discovery result.
+
+    Returns hints sorted by kind and descending support; ``min_support``
+    filters weakly supported suggestions.
+    """
+    dictionary = result.dictionary
+
+    # ARs o=C -> p=rdf:type identify class terms (and license the unary
+    # canonical form of typed-C conditions).
+    class_rules: Dict[str, str] = {}
+    ar_hints: List[OntologyHint] = []
+    for supported in result.association_rules:
+        lhs = decode_condition(supported.rule.lhs, dictionary)
+        rhs = decode_condition(supported.rule.rhs, dictionary)
+        if (
+            lhs.attr == Attr.O
+            and isinstance(rhs, UnaryCondition)
+            and rhs.attr == Attr.P
+            and rhs.value == type_predicate
+        ):
+            class_rules[lhs.value] = rhs.value
+            if supported.support >= min_support:
+                ar_hints.append(
+                    OntologyHint("class", lhs.value, type_predicate, supported.support)
+                )
+
+    subclass: List[OntologyHint] = []
+    domain_range: List[OntologyHint] = []
+    # subproperty requires the s-side and o-side inclusions to both hold.
+    subproperty_sides: Dict[Tuple[str, str], Dict[Attr, int]] = {}
+
+    for supported in result.cinds:
+        if supported.support < min_support:
+            continue
+        dependent = decode_capture(supported.cind.dependent, dictionary)
+        referenced = decode_capture(supported.cind.referenced, dictionary)
+
+        dep_class = _typed_class(dependent.condition, type_predicate, class_rules)
+        ref_class = _typed_class(referenced.condition, type_predicate, class_rules)
+        dep_predicate = _unary_predicate(dependent.condition)
+        ref_predicate = _unary_predicate(referenced.condition)
+
+        if (
+            dep_class is not None
+            and ref_class is not None
+            and dependent.attr == Attr.S
+            and referenced.attr == Attr.S
+            and dep_class != ref_class
+        ):
+            subclass.append(
+                OntologyHint("subclass", dep_class, ref_class, supported.support)
+            )
+        elif (
+            dep_predicate is not None
+            and ref_predicate is not None
+            and dependent.attr == referenced.attr
+            and dependent.attr in (Attr.S, Attr.O)
+            and dep_predicate != ref_predicate
+        ):
+            sides = subproperty_sides.setdefault(
+                (dep_predicate, ref_predicate), {}
+            )
+            sides[dependent.attr] = max(
+                sides.get(dependent.attr, 0), supported.support
+            )
+        elif (
+            dep_predicate is not None
+            and ref_class is not None
+            and referenced.attr == Attr.S
+        ):
+            if dependent.attr == Attr.S:
+                domain_range.append(
+                    OntologyHint("domain", dep_predicate, ref_class, supported.support)
+                )
+            elif dependent.attr == Attr.O:
+                domain_range.append(
+                    OntologyHint("range", dep_predicate, ref_class, supported.support)
+                )
+
+    subproperty = [
+        OntologyHint("subproperty", sub, parent, min(sides.values()))
+        for (sub, parent), sides in subproperty_sides.items()
+        if Attr.S in sides and Attr.O in sides
+    ]
+
+    hints = subclass + subproperty + domain_range + ar_hints
+    hints.sort(key=lambda hint: (hint.kind, -hint.support, hint.subject))
+    return hints

@@ -1,0 +1,135 @@
+"""Ranking CINDs: meaningful vs spurious (the paper's future-work item).
+
+Section 10 names "discerning meaningful and spurious cinds, e.g., using
+the local closed world assumption" as an open problem.  This module
+implements a practical scorer in that spirit.  A discovered CIND
+``c ⊆ c'`` with support s (=|I(c)|) is judged along two axes:
+
+* **coverage** — how much evidence backs it: ``log`` -scaled support, the
+  same quantity broadness thresholds act on;
+* **selectivity** — how surprising the inclusion is under a closed-world
+  reading.  If the referenced interpretation covers almost every value of
+  its projection attribute, any capture would be included in it by
+  accident; the score therefore rewards small ``|I(c')| / |values(α')|``
+  ratios.  This is the local-closed-world intuition: an inclusion into a
+  near-universal set carries no information.
+
+``rank_cinds`` scores a whole discovery result (re-deriving the needed
+interpretation sizes in one dataset pass) and returns the CINDs ordered
+most-meaningful-first; ``spurious`` flags the bottom of the ranking.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+from repro.core.cind import Capture, SupportedCIND
+from repro.core.discovery import DiscoveryResult
+from repro.rdf.model import Attr, Dataset, EncodedDataset
+
+
+@dataclass(frozen=True)
+class ScoredCIND:
+    """A pertinent CIND with its meaningfulness score and components."""
+
+    supported: SupportedCIND
+    score: float
+    coverage: float
+    selectivity: float
+
+    def render(self, dictionary) -> str:
+        """Rendering including the score breakdown."""
+        return (
+            f"{self.supported.render(dictionary)}  "
+            f"score={self.score:.3f} (coverage={self.coverage:.2f}, "
+            f"selectivity={self.selectivity:.2f})"
+        )
+
+
+def _interpretation_sizes(
+    dataset: EncodedDataset, captures: Set[Capture]
+) -> Dict[Capture, int]:
+    """|I(T, c)| for the requested captures in one pass."""
+    values: Dict[Capture, Set[int]] = {capture: set() for capture in captures}
+    by_condition: Dict[Tuple, list] = {}
+    for capture in captures:
+        by_condition.setdefault(capture.condition, []).append(capture)
+    for triple in dataset:
+        for condition, interested in by_condition.items():
+            if condition.matches(triple):
+                for capture in interested:
+                    values[capture].add(triple[int(capture.attr)])
+    return {capture: len(vals) for capture, vals in values.items()}
+
+
+def rank_cinds(
+    result: DiscoveryResult,
+    dataset: Union[Dataset, EncodedDataset, None] = None,
+    limit: Optional[int] = None,
+) -> List[ScoredCIND]:
+    """Score and rank a discovery result's pertinent CINDs.
+
+    ``dataset`` defaults to being unavailable, in which case the
+    referenced interpretation sizes are approximated by the largest
+    dependent support seen per referenced capture (a lower bound); pass
+    the dataset the result was discovered on for exact selectivities.
+    """
+    rows = result.cinds if limit is None else result.cinds[:limit]
+    if not rows:
+        return []
+
+    attr_totals: Dict[Attr, int] = {}
+    ref_sizes: Dict[Capture, int] = {}
+    if dataset is not None:
+        if isinstance(dataset, Dataset):
+            dataset = dataset.encode()
+        for attr in Attr:
+            attr_totals[attr] = len(dataset.values(attr))
+        ref_sizes = _interpretation_sizes(
+            dataset, {sc.cind.referenced for sc in rows}
+        )
+    else:
+        for supported in rows:
+            referenced = supported.cind.referenced
+            ref_sizes[referenced] = max(
+                ref_sizes.get(referenced, 0), supported.support
+            )
+        for supported in rows:
+            attr = supported.cind.referenced.attr
+            attr_totals[attr] = max(
+                attr_totals.get(attr, 1), ref_sizes[supported.cind.referenced]
+            )
+
+    max_support = max(sc.support for sc in rows)
+    scored: List[ScoredCIND] = []
+    for supported in rows:
+        referenced = supported.cind.referenced
+        coverage = math.log1p(supported.support) / math.log1p(max_support)
+        universe = max(attr_totals.get(referenced.attr, 1), 1)
+        ref_share = min(ref_sizes.get(referenced, supported.support) / universe, 1.0)
+        selectivity = 1.0 - ref_share
+        score = coverage * (0.35 + 0.65 * selectivity)
+        scored.append(
+            ScoredCIND(
+                supported=supported,
+                score=score,
+                coverage=coverage,
+                selectivity=selectivity,
+            )
+        )
+    scored.sort(key=lambda row: (-row.score, row.supported.cind))
+    return scored
+
+
+def spurious(
+    ranking: List[ScoredCIND], selectivity_floor: float = 0.05
+) -> List[ScoredCIND]:
+    """The CINDs a closed-world reading flags as likely accidental.
+
+    An inclusion whose referenced capture covers (almost) the entire
+    projection-attribute universe says nothing — anything would be
+    included in it.
+    """
+    return [row for row in ranking if row.selectivity < selectivity_floor]

@@ -1,0 +1,37 @@
+"""Baselines the paper compares RDFind against.
+
+* :mod:`repro.baselines.cinderella` — Cinderella (Bauckmann et al., CIKM
+  2012), the state-of-the-art relational CIND discovery algorithm, plus
+  the paper's memory-optimized variant Cinderella*, each runnable with a
+  "MySQL" or "PostgreSQL" join backend profile (Section 8.2 / Figure 7).
+* :mod:`repro.baselines.minimal_first` — the multi-pass
+  minimal-CINDs-first strategy the paper evaluates and rejects in
+  Section 8.6.
+* :mod:`repro.baselines.sindy` — SINDY-style plain IND discovery over the
+  three RDF attributes (the join-extract predecessor RDFind generalizes,
+  Section 9); on RDF it demonstrates why unconditional INDs are too
+  coarse (Section 1).
+
+The RDFind-DE and RDFind-NF ablations are configuration presets on
+:class:`repro.core.discovery.RDFindConfig` rather than separate code.
+"""
+
+from repro.baselines.cinderella import (
+    Cinderella,
+    CinderellaConfig,
+    CinderellaResult,
+    ConditionalInclusion,
+)
+from repro.baselines.minimal_first import minimal_first_discover
+from repro.baselines.sindy import IND, SindyResult, discover_inds
+
+__all__ = [
+    "Cinderella",
+    "CinderellaConfig",
+    "CinderellaResult",
+    "ConditionalInclusion",
+    "minimal_first_discover",
+    "IND",
+    "SindyResult",
+    "discover_inds",
+]

@@ -1,0 +1,338 @@
+"""Command-line interface: ``rdfind`` (or ``python -m repro``).
+
+Subcommands::
+
+    rdfind datasets                     # the Table 2 registry
+    rdfind generate Diseasome -o d.nt   # write a dataset as N-Triples
+    rdfind discover d.nt -s 25          # pertinent CINDs + ARs of a file
+    rdfind discover dataset:LUBM-1 -s 100 --variant de
+    rdfind funnel dataset:Diseasome -s 10        # Figure 2 numbers
+    rdfind histogram dataset:DrugBank            # Figure 4 numbers
+    rdfind ontology dataset:DB14-MPCE -s 25      # schema hints
+    rdfind facts dataset:DB14-MPCE -s 25         # knowledge facts
+    rdfind advise dataset:Diseasome              # support-threshold advisor
+    rdfind rank dataset:Diseasome -s 25          # meaningfulness ranking
+    rdfind inds dataset:LUBM-1                   # plain INDs (SINDY-style)
+    rdfind profile dataset:Diseasome             # everything in one report
+    rdfind cross a.nt b.nt -s 25                 # cross-dataset CINDs
+
+Inputs are N-Triples files, Turtle files (``.ttl``), or
+``dataset:<Name>`` to use a synthetic Table 2 dataset.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.apps.advisor import recommend_support_threshold
+from repro.apps.integration import discover_cross_cinds
+from repro.apps.profile_report import profile_dataset
+from repro.apps.knowledge import discover_knowledge
+from repro.apps.ontology import reverse_engineer_ontology
+from repro.apps.ranking import rank_cinds, spurious
+from repro.baselines.sindy import discover_inds
+from repro.core.conditions import ConditionScope
+from repro.core.discovery import DiscoveryResult, RDFind, RDFindConfig
+from repro.core.serialization import dump_result
+from repro.core.stats import condition_frequency_histogram, search_space_funnel
+from repro.datasets.registry import DATASETS, load
+from repro.rdf.model import Dataset
+from repro.rdf.ntriples import parse_ntriples_file, write_ntriples_file
+from repro.rdf.turtle import parse_turtle_file
+
+
+def _load_input(spec: str, scale: float = 1.0) -> Dataset:
+    if spec.startswith("dataset:"):
+        return load(spec[len("dataset:") :], scale=scale)
+    if str(spec).endswith((".ttl", ".turtle")):
+        return parse_turtle_file(spec)
+    return parse_ntriples_file(spec)
+
+
+def _scope(name: str) -> ConditionScope:
+    if name == "full":
+        return ConditionScope.full()
+    if name == "predicates":
+        return ConditionScope.predicates_only()
+    raise SystemExit(f"unknown scope {name!r} (use 'full' or 'predicates')")
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("input", help="N-Triples file or dataset:<Name>")
+    parser.add_argument(
+        "-s", "--support", type=int, default=25, help="support threshold h"
+    )
+    parser.add_argument(
+        "-p", "--parallelism", type=int, default=4, help="simulated workers"
+    )
+    parser.add_argument(
+        "--scale", type=float, default=1.0, help="scale for dataset: inputs"
+    )
+
+
+def _discover(args: argparse.Namespace) -> DiscoveryResult:
+    dataset = _load_input(args.input, scale=args.scale)
+    variant = getattr(args, "variant", "rdfind")
+    builders = {
+        "rdfind": RDFindConfig,
+        "de": RDFindConfig.direct_extraction,
+        "nf": RDFindConfig.no_frequent_conditions,
+    }
+    config = builders[variant](
+        support_threshold=args.support,
+        parallelism=args.parallelism,
+        scope=_scope(getattr(args, "scope", "full")),
+    )
+    return RDFind(config).discover(dataset)
+
+
+def cmd_datasets(_args: argparse.Namespace) -> int:
+    print(f"{'name':<11} {'paper MB':>9} {'paper triples':>15}  note")
+    for spec in DATASETS.values():
+        print(
+            f"{spec.name:<11} {spec.paper_size_mb:>9,.1f} "
+            f"{spec.paper_triples:>15,}  {spec.note}"
+        )
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    dataset = load(args.name, scale=args.scale)
+    count = write_ntriples_file(dataset, args.output)
+    print(f"wrote {count:,} triples of {dataset.name} to {args.output}")
+    return 0
+
+
+def cmd_discover(args: argparse.Namespace) -> int:
+    result = _discover(args)
+    stats = result.stats
+    print(
+        f"{result.config.variant_name} h={result.support_threshold}: "
+        f"{stats.num_triples:,} triples -> {len(result.cinds):,} pertinent "
+        f"CINDs, {len(result.association_rules):,} ARs "
+        f"in {result.elapsed_seconds:.2f}s "
+        f"(simulated parallel {result.metrics.simulated_parallel_seconds:.2f}s)"
+    )
+    for line in result.render_cinds(args.limit):
+        print(" ", line)
+    if result.association_rules:
+        print("association rules:")
+        for line in result.render_association_rules(args.limit):
+            print(" ", line)
+    if args.output:
+        dump_result(result, args.output)
+        print(f"full result written to {args.output}")
+    return 0
+
+
+def cmd_funnel(args: argparse.Namespace) -> int:
+    dataset = _load_input(args.input, scale=args.scale)
+    funnel = search_space_funnel(
+        dataset, args.support, exhaustive=args.exhaustive,
+        parallelism=args.parallelism,
+    )
+    print(funnel.describe())
+    return 0
+
+
+def cmd_histogram(args: argparse.Namespace) -> int:
+    dataset = _load_input(args.input, scale=args.scale)
+    histogram = condition_frequency_histogram(dataset)
+    print(f"{'frequency':>10} {'conditions':>12}")
+    for frequency in sorted(histogram):
+        print(f"{frequency:>10} {histogram[frequency]:>12,}")
+    return 0
+
+
+def cmd_ontology(args: argparse.Namespace) -> int:
+    result = _discover(args)
+    hints = reverse_engineer_ontology(result, min_support=args.support)
+    print(f"{len(hints)} ontology hints:")
+    for hint in hints[: args.limit]:
+        print(" ", hint.describe())
+    return 0
+
+
+def cmd_facts(args: argparse.Namespace) -> int:
+    result = _discover(args)
+    facts = discover_knowledge(result, min_support=args.support)
+    print(f"{len(facts)} knowledge facts:")
+    for fact in facts[: args.limit]:
+        print(" ", fact.describe())
+    return 0
+
+
+def cmd_advise(args: argparse.Namespace) -> int:
+    dataset = _load_input(args.input, scale=args.scale)
+    analysis = recommend_support_threshold(dataset.encode())
+    print(analysis.describe())
+    return 0
+
+
+def cmd_rank(args: argparse.Namespace) -> int:
+    dataset = _load_input(args.input, scale=args.scale)
+    encoded = dataset.encode()
+    result = RDFind(
+        RDFindConfig(
+            support_threshold=args.support, parallelism=args.parallelism
+        )
+    ).discover(encoded)
+    ranking = rank_cinds(result, encoded)
+    flagged = spurious(ranking)
+    print(
+        f"{len(ranking)} pertinent CINDs ranked; "
+        f"{len(flagged)} flagged as likely spurious"
+    )
+    for row in ranking[: args.limit]:
+        print(" ", row.render(result.dictionary))
+    return 0
+
+
+def cmd_inds(args: argparse.Namespace) -> int:
+    dataset = _load_input(args.input, scale=args.scale)
+    result = discover_inds(dataset.encode(), parallelism=args.parallelism)
+    print(
+        f"plain INDs over the s/p/o attributes "
+        f"({result.elapsed_seconds:.2f}s) — the coarseness that motivates "
+        f"CINDs (paper Section 1):"
+    )
+    for line in result.render():
+        print(" ", line)
+    if not result.inds:
+        print("  (no exact attribute-level INDs — as expected on RDF data)")
+    return 0
+
+
+def cmd_cross(args: argparse.Namespace) -> int:
+    left = _load_input(args.left, scale=args.scale)
+    right = _load_input(args.right, scale=args.scale)
+    report = discover_cross_cinds(left, right, h=args.support)
+    print(report.describe(limit=args.limit))
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    dataset = _load_input(args.input, scale=args.scale)
+    h = args.support if args.support > 0 else None
+    print(profile_dataset(dataset.encode(), h=h, parallelism=args.parallelism)
+          .describe(limit=args.limit))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rdfind",
+        description="RDFind: pertinent CIND discovery in RDF datasets "
+        "(SIGMOD 2016 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list the Table 2 dataset registry")
+
+    generate = sub.add_parser("generate", help="write a dataset as N-Triples")
+    generate.add_argument("name", help="dataset name (see 'datasets')")
+    generate.add_argument("-o", "--output", required=True)
+    generate.add_argument("--scale", type=float, default=1.0)
+
+    discover = sub.add_parser("discover", help="discover pertinent CINDs")
+    _add_common(discover)
+    discover.add_argument(
+        "--variant", choices=("rdfind", "de", "nf"), default="rdfind",
+        help="algorithm variant (RDFind, RDFind-DE, RDFind-NF)",
+    )
+    discover.add_argument(
+        "--scope", choices=("full", "predicates"), default="full",
+        help="condition scope ('predicates' = the paper's Freebase setting)",
+    )
+    discover.add_argument("-n", "--limit", type=int, default=20)
+    discover.add_argument(
+        "-o", "--output", default=None,
+        help="also write the full result as JSON (see core.serialization)",
+    )
+
+    funnel = sub.add_parser("funnel", help="Figure 2 search-space funnel")
+    _add_common(funnel)
+    funnel.add_argument(
+        "--exhaustive", action="store_true",
+        help="also count all valid/minimal CINDs (small datasets only!)",
+    )
+
+    histogram = sub.add_parser(
+        "histogram", help="Figure 4 condition-frequency histogram"
+    )
+    _add_common(histogram)
+
+    ontology = sub.add_parser("ontology", help="ontology reverse engineering")
+    _add_common(ontology)
+    ontology.add_argument("-n", "--limit", type=int, default=30)
+
+    facts = sub.add_parser("facts", help="knowledge discovery facts")
+    _add_common(facts)
+    facts.add_argument("-n", "--limit", type=int, default=30)
+
+    advise = sub.add_parser(
+        "advise", help="recommend support thresholds (paper Section 10)"
+    )
+    _add_common(advise)
+
+    rank = sub.add_parser(
+        "rank", help="rank CINDs by meaningfulness (paper Section 10)"
+    )
+    _add_common(rank)
+    rank.add_argument("-n", "--limit", type=int, default=20)
+
+    inds = sub.add_parser(
+        "inds", help="plain attribute-level INDs (SINDY-style)"
+    )
+    _add_common(inds)
+
+    cross = sub.add_parser(
+        "cross", help="cross-dataset CINDs (data integration)"
+    )
+    cross.add_argument("left", help="N-Triples/Turtle file or dataset:<Name>")
+    cross.add_argument("right", help="N-Triples/Turtle file or dataset:<Name>")
+    cross.add_argument("-s", "--support", type=int, default=25)
+    cross.add_argument("--scale", type=float, default=1.0)
+    cross.add_argument("-n", "--limit", type=int, default=20)
+
+    profile = sub.add_parser(
+        "profile", help="full dataset profiling report (ProLOD++-style)"
+    )
+    profile.add_argument("input", help="N-Triples file or dataset:<Name>")
+    profile.add_argument(
+        "-s", "--support", type=int, default=0,
+        help="support threshold (0 = use the advisor's recommendation)",
+    )
+    profile.add_argument("-p", "--parallelism", type=int, default=4)
+    profile.add_argument("--scale", type=float, default=1.0)
+    profile.add_argument("-n", "--limit", type=int, default=10)
+
+    return parser
+
+
+_COMMANDS = {
+    "datasets": cmd_datasets,
+    "generate": cmd_generate,
+    "discover": cmd_discover,
+    "funnel": cmd_funnel,
+    "histogram": cmd_histogram,
+    "ontology": cmd_ontology,
+    "facts": cmd_facts,
+    "advise": cmd_advise,
+    "rank": cmd_rank,
+    "inds": cmd_inds,
+    "cross": cmd_cross,
+    "profile": cmd_profile,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,225 @@
+"""Conditions over RDF triples (Definition 2.1) and their implication.
+
+A *unary* condition constrains one triple attribute to a constant
+(``t.beta = v``); a *binary* condition constrains two distinct attributes
+(``t.beta = v1 and t.gamma = v2``).  Binary conditions are kept in
+canonical attribute order so equal conditions compare equal.
+
+Conditions here are over *encoded* term ids (ints); rendering back to
+strings goes through a :class:`repro.rdf.model.TermDictionary`.
+
+The module also defines :class:`ConditionScope`, the configuration object
+that restricts which projection/condition attributes participate in a
+discovery run.  The paper uses such a restriction for its largest
+experiment ("we consider predicates only in conditions", Section 8.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterator, NamedTuple, Optional, Tuple, Union
+
+from repro.rdf.model import ALL_ATTRS, Attr, EncodedTriple, TermDictionary
+
+
+class UnaryCondition(NamedTuple):
+    """``t.attr = value`` over encoded term ids."""
+
+    attr: Attr
+    value: int
+
+    def matches(self, triple: EncodedTriple) -> bool:
+        """True if the triple satisfies the condition."""
+        return triple[int(self.attr)] == self.value
+
+    @property
+    def attrs(self) -> Tuple[Attr]:
+        """The attributes the condition constrains."""
+        return (self.attr,)
+
+    def render(self, dictionary: TermDictionary) -> str:
+        """Human-readable form, e.g. ``p=rdf:type``."""
+        return f"{self.attr.symbol}={dictionary.decode(self.value)}"
+
+
+class BinaryCondition(NamedTuple):
+    """``t.attr1 = value1 and t.attr2 = value2`` with ``attr1 < attr2``."""
+
+    attr1: Attr
+    value1: int
+    attr2: Attr
+    value2: int
+
+    @classmethod
+    def make(cls, attr1: Attr, value1: int, attr2: Attr, value2: int) -> "BinaryCondition":
+        """Build a binary condition in canonical attribute order."""
+        if attr1 == attr2:
+            raise ValueError("binary condition needs two distinct attributes")
+        if attr1 > attr2:
+            attr1, value1, attr2, value2 = attr2, value2, attr1, value1
+        return cls(attr1, value1, attr2, value2)
+
+    def matches(self, triple: EncodedTriple) -> bool:
+        """True if the triple satisfies both constraints."""
+        return (
+            triple[int(self.attr1)] == self.value1
+            and triple[int(self.attr2)] == self.value2
+        )
+
+    @property
+    def attrs(self) -> Tuple[Attr, Attr]:
+        """The attributes the condition constrains."""
+        return (self.attr1, self.attr2)
+
+    def unary_parts(self) -> Tuple[UnaryCondition, UnaryCondition]:
+        """The two unary conditions this binary condition implies."""
+        return (
+            UnaryCondition(self.attr1, self.value1),
+            UnaryCondition(self.attr2, self.value2),
+        )
+
+    def other_part(self, part: UnaryCondition) -> UnaryCondition:
+        """The unary component that is not ``part``."""
+        first, second = self.unary_parts()
+        if part == first:
+            return second
+        if part == second:
+            return first
+        raise ValueError(f"{part} is not a component of {self}")
+
+    def render(self, dictionary: TermDictionary) -> str:
+        """Human-readable form, e.g. ``p=rdf:type ∧ o=gradStudent``."""
+        first, second = self.unary_parts()
+        return f"{first.render(dictionary)} ∧ {second.render(dictionary)}"
+
+
+Condition = Union[UnaryCondition, BinaryCondition]
+
+
+def is_unary(condition: Condition) -> bool:
+    """True for unary conditions (2-tuples)."""
+    return len(condition) == 2
+
+
+def is_binary(condition: Condition) -> bool:
+    """True for binary conditions (4-tuples)."""
+    return len(condition) == 4
+
+
+def condition_attrs(condition: Condition) -> FrozenSet[Attr]:
+    """The set of attributes a condition constrains."""
+    return frozenset(condition.attrs)
+
+
+def implies(tighter: Condition, looser: Condition) -> bool:
+    """``tighter ⇒ looser``: every triple matching ``tighter`` matches ``looser``.
+
+    Within this condition language this reduces to: the constraints of
+    ``looser`` are a subset of those of ``tighter`` (Section 3.1 uses the
+    binary-implies-its-unary-parts special case, written ``φ ⇒ φ'``).
+    """
+    if tighter == looser:
+        return True
+    if is_binary(tighter) and is_unary(looser):
+        return looser in tighter.unary_parts()
+    return False
+
+
+def strictly_implies(tighter: Condition, looser: Condition) -> bool:
+    """``tighter ⇒ looser`` and the two differ."""
+    return tighter != looser and implies(tighter, looser)
+
+
+def conditions_of_triple(
+    triple: EncodedTriple, scope: Optional["ConditionScope"] = None
+) -> Iterator[Condition]:
+    """All unary and binary conditions a triple satisfies, within ``scope``."""
+    scope = scope if scope is not None else FULL_SCOPE
+    attrs = [attr for attr in ALL_ATTRS if attr in scope.condition_attrs]
+    for attr in attrs:
+        yield UnaryCondition(attr, triple[int(attr)])
+    if scope.allow_binary:
+        for index, attr1 in enumerate(attrs):
+            for attr2 in attrs[index + 1 :]:
+                yield BinaryCondition(
+                    attr1, triple[int(attr1)], attr2, triple[int(attr2)]
+                )
+
+
+@dataclass(frozen=True)
+class ConditionScope:
+    """Which attributes may appear in projections and conditions.
+
+    The default scope is the paper's general problem: any of the three
+    attributes may be projected, any of the other two may be constrained,
+    and binary conditions are allowed.  :meth:`predicates_only` reproduces
+    the restriction used for the Freebase experiment.
+    """
+
+    projection_attrs: FrozenSet[Attr] = field(
+        default_factory=lambda: frozenset(ALL_ATTRS)
+    )
+    condition_attrs: FrozenSet[Attr] = field(
+        default_factory=lambda: frozenset(ALL_ATTRS)
+    )
+    allow_binary: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.projection_attrs:
+            raise ValueError("at least one projection attribute is required")
+        if not self.condition_attrs:
+            raise ValueError("at least one condition attribute is required")
+
+    @classmethod
+    def full(cls) -> "ConditionScope":
+        """The unrestricted scope (default)."""
+        return FULL_SCOPE
+
+    @classmethod
+    def predicates_only(cls) -> "ConditionScope":
+        """Conditions only on the predicate attribute; projections on s/o.
+
+        The strictest reading of Section 8.3's Freebase setting ("we
+        consider predicates only in conditions").  With a single
+        condition attribute, binary conditions cannot be formed.
+        """
+        return cls(
+            projection_attrs=frozenset((Attr.S, Attr.O)),
+            condition_attrs=frozenset((Attr.P,)),
+            allow_binary=False,
+        )
+
+    @classmethod
+    def no_predicate_projections(cls) -> "ConditionScope":
+        """Predicates appear in conditions but are never projected.
+
+        The literal reading of Section 8.3's Freebase setting: the
+        earlier experiments "rarely showed meaningful cinds on
+        predicates", so predicate *projections* are dropped while
+        conditions stay unrestricted (including binary ones, which is
+        what keeps association rules possible — Figure 8 reports ARs).
+        """
+        return cls(
+            projection_attrs=frozenset((Attr.S, Attr.O)),
+            condition_attrs=frozenset(ALL_ATTRS),
+            allow_binary=True,
+        )
+
+    def allows_projection(self, attr: Attr) -> bool:
+        """True if ``attr`` may be a capture's projection attribute."""
+        return attr in self.projection_attrs
+
+    def allows_condition(self, condition: Condition) -> bool:
+        """True if all of the condition's attributes are in scope."""
+        if is_binary(condition) and not self.allow_binary:
+            return False
+        return all(attr in self.condition_attrs for attr in condition.attrs)
+
+    def condition_attrs_for(self, projection: Attr) -> Tuple[Attr, ...]:
+        """In-scope condition attributes distinct from ``projection``."""
+        return tuple(
+            attr for attr in Attr.others(projection) if attr in self.condition_attrs
+        )
+
+
+FULL_SCOPE = ConditionScope()

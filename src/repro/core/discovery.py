@@ -1,0 +1,324 @@
+"""RDFind facade: configuration, the end-to-end pipeline, and results.
+
+This is the public entry point of the library::
+
+    from repro import RDFind, RDFindConfig
+    result = RDFind(RDFindConfig(support_threshold=25)).discover(dataset)
+    for cind in result.cinds[:10]:
+        print(result.render(cind))
+
+The facade wires the three paper components together — FCDetector
+(Section 5), CGCreator (Section 6), CINDExtractor + minimality
+consolidation (Section 7) — on top of the simulated dataflow engine, and
+exposes the ablation variants of Section 8.5 as configuration presets:
+
+* :meth:`RDFindConfig.direct_extraction` — RDFind-DE: no capture-support
+  pruning, no load balancing, no approximate-validate extraction.
+* :meth:`RDFindConfig.no_frequent_conditions` — RDFind-NF: additionally
+  skips everything related to frequent conditions (and hence ARs).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.core.capture_groups import create_capture_groups
+from repro.core.cind import (
+    CIND,
+    AssociationRule,
+    Capture,
+    SupportedAR,
+    SupportedCIND,
+)
+from repro.core.conditions import ConditionScope
+from repro.core.extraction import (
+    DEFAULT_CANDIDATE_BLOOM_BITS,
+    DEFAULT_CANDIDATE_BLOOM_HASHES,
+    ExtractionConfig,
+    ExtractionStats,
+    extract_broad_cinds,
+)
+from repro.core.frequent_conditions import (
+    DEFAULT_FP_RATE,
+    FrequentConditions,
+    detect_frequent_conditions,
+)
+from repro.core.minimality import broad_cind_list, consolidate_pertinent
+from repro.dataflow.engine import ExecutionEnvironment
+from repro.dataflow.gcpause import gc_paused
+from repro.dataflow.metrics import JobMetrics
+from repro.rdf.model import Dataset, EncodedDataset, TermDictionary
+
+
+@dataclass(frozen=True)
+class RDFindConfig:
+    """Configuration of a discovery run.
+
+    Parameters
+    ----------
+    support_threshold:
+        The broadness threshold ``h`` (Definition 3.1).  The paper
+        recommends ~1000 for query minimization and ~25 for knowledge
+        discovery.
+    parallelism:
+        Number of simulated workers.
+    scope:
+        Projection/condition attribute restrictions;
+        :meth:`ConditionScope.predicates_only` reproduces the paper's
+        Freebase setting.
+    prune_infrequent_conditions:
+        First lazy-pruning phase (FCDetector).  ``False`` = RDFind-NF.
+    prune_capture_support / balance_dominant_groups:
+        Second lazy-pruning phase and the dominant-group machinery.
+        Both ``False`` = RDFind-DE.
+    bloom_fp_rate:
+        False-positive rate of the frequent-condition Bloom filters.
+    candidate_bloom_bits / candidate_bloom_hashes:
+        Geometry of the per-dominant-group candidate filters (the paper's
+        64-byte setting is the default).
+    memory_budget:
+        Optional per-worker record budget; exceeding it raises
+        :class:`~repro.dataflow.engine.SimulatedOutOfMemory` (used to
+        reproduce the paper's reported algorithm failures).
+    keep_broad_cinds:
+        Also materialize the full broad (pre-minimality) CIND list on the
+        result object.
+    """
+
+    support_threshold: int = 25
+    parallelism: int = 4
+    scope: ConditionScope = field(default_factory=ConditionScope.full)
+    prune_infrequent_conditions: bool = True
+    prune_capture_support: bool = True
+    balance_dominant_groups: bool = True
+    bloom_fp_rate: float = DEFAULT_FP_RATE
+    candidate_bloom_bits: int = DEFAULT_CANDIDATE_BLOOM_BITS
+    candidate_bloom_hashes: int = DEFAULT_CANDIDATE_BLOOM_HASHES
+    memory_budget: Optional[int] = None
+    keep_broad_cinds: bool = False
+
+    def __post_init__(self) -> None:
+        if self.support_threshold < 1:
+            raise ValueError(
+                f"support threshold must be >= 1, got {self.support_threshold}"
+            )
+        if self.parallelism < 1:
+            raise ValueError(f"parallelism must be >= 1, got {self.parallelism}")
+
+    @classmethod
+    def direct_extraction(cls, **overrides) -> "RDFindConfig":
+        """The RDFind-DE ablation (Section 8.5): direct extraction."""
+        overrides.setdefault("prune_capture_support", False)
+        overrides.setdefault("balance_dominant_groups", False)
+        return cls(**overrides)
+
+    @classmethod
+    def no_frequent_conditions(cls, **overrides) -> "RDFindConfig":
+        """The RDFind-NF ablation: DE plus no frequent-condition pruning."""
+        overrides.setdefault("prune_infrequent_conditions", False)
+        return cls.direct_extraction(**overrides)
+
+    def with_support(self, h: int) -> "RDFindConfig":
+        """A copy with a different support threshold."""
+        return replace(self, support_threshold=h)
+
+    @property
+    def variant_name(self) -> str:
+        """Human-readable algorithm variant label."""
+        if not self.prune_infrequent_conditions:
+            return "RDFind-NF"
+        if not (self.prune_capture_support or self.balance_dominant_groups):
+            return "RDFind-DE"
+        return "RDFind"
+
+
+@dataclass
+class DiscoveryStats:
+    """Headline counts of a discovery run."""
+
+    num_triples: int = 0
+    num_frequent_unary: int = 0
+    num_frequent_binary: int = 0
+    num_association_rules: int = 0
+    num_capture_groups: int = 0
+    num_broad_cinds: int = 0
+    num_pertinent_cinds: int = 0
+    extraction: ExtractionStats = field(default_factory=ExtractionStats)
+
+
+@dataclass
+class DiscoveryResult:
+    """Everything a discovery run produced.
+
+    ``cinds`` are the pertinent CINDs (broad and minimal, trivial and
+    AR-implied ones excluded); ``association_rules`` complement them — an
+    AR stands in for the CINDs it implies (Section 3.3).
+    """
+
+    cinds: List[SupportedCIND]
+    association_rules: List[SupportedAR]
+    dictionary: TermDictionary
+    config: RDFindConfig
+    stats: DiscoveryStats
+    metrics: JobMetrics
+    elapsed_seconds: float = 0.0
+    broad_cinds: Optional[List[SupportedCIND]] = None
+
+    @property
+    def support_threshold(self) -> int:
+        """The ``h`` the run used."""
+        return self.config.support_threshold
+
+    def render(self, item: Union[SupportedCIND, SupportedAR, CIND, AssociationRule, Capture]) -> str:
+        """Render any result item with this run's term dictionary."""
+        return item.render(self.dictionary)
+
+    def render_cinds(self, limit: Optional[int] = None) -> List[str]:
+        """Rendered pertinent CINDs (most supported first)."""
+        rows = self.cinds if limit is None else self.cinds[:limit]
+        return [self.render(row) for row in rows]
+
+    def render_association_rules(self, limit: Optional[int] = None) -> List[str]:
+        """Rendered association rules (most supported first)."""
+        rows = (
+            self.association_rules
+            if limit is None
+            else self.association_rules[:limit]
+        )
+        return [self.render(row) for row in rows]
+
+    def cinds_with_min_support(self, h: int) -> List[SupportedCIND]:
+        """Pertinent CINDs whose support is at least ``h``."""
+        return [row for row in self.cinds if row.support >= h]
+
+    def summary(self) -> Dict[str, float]:
+        """Headline numbers (handy as a benchmark row)."""
+        return {
+            "variant": self.config.variant_name,
+            "h": self.support_threshold,
+            "triples": self.stats.num_triples,
+            "pertinent_cinds": len(self.cinds),
+            "association_rules": len(self.association_rules),
+            "broad_cinds": self.stats.num_broad_cinds,
+            "elapsed_seconds": self.elapsed_seconds,
+            "simulated_parallel_seconds": self.metrics.simulated_parallel_seconds,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<DiscoveryResult {self.config.variant_name} h={self.support_threshold}: "
+            f"{len(self.cinds)} pertinent CINDs, "
+            f"{len(self.association_rules)} ARs in {self.elapsed_seconds:.2f}s>"
+        )
+
+
+class RDFind:
+    """The RDFind discovery system (paper Figure 3)."""
+
+    def __init__(self, config: Optional[RDFindConfig] = None) -> None:
+        self.config = config if config is not None else RDFindConfig()
+
+    def discover(
+        self,
+        dataset: Union[Dataset, EncodedDataset, Sequence],
+        h: Optional[int] = None,
+    ) -> DiscoveryResult:
+        """Discover all pertinent CINDs and ARs in ``dataset``.
+
+        ``h`` overrides the configured support threshold for this run.
+        Accepts a :class:`Dataset`, an :class:`EncodedDataset`, or any
+        sequence of ``(s, p, o)`` string tuples.
+        """
+        config = self.config if h is None else self.config.with_support(h)
+        encoded = _as_encoded(dataset)
+        with gc_paused():
+            return self._discover_encoded(encoded, config)
+
+    def _discover_encoded(
+        self, encoded: EncodedDataset, config: RDFindConfig
+    ) -> DiscoveryResult:
+        started = time.perf_counter()
+        env = ExecutionEnvironment(
+            parallelism=config.parallelism,
+            memory_budget=config.memory_budget,
+            name=f"{config.variant_name}(h={config.support_threshold})",
+        )
+        triples = env.from_collection(encoded.triples, name="source/triples")
+
+        frequent: Optional[FrequentConditions] = None
+        if config.prune_infrequent_conditions:
+            frequent = detect_frequent_conditions(
+                env,
+                triples,
+                h=config.support_threshold,
+                scope=config.scope,
+                fp_rate=config.bloom_fp_rate,
+            )
+
+        groups = create_capture_groups(
+            env, triples, scope=config.scope, frequent=frequent
+        )
+
+        extraction_config = ExtractionConfig(
+            h=config.support_threshold,
+            prune_capture_support=config.prune_capture_support,
+            balance_dominant_groups=config.balance_dominant_groups,
+            candidate_bloom_bits=config.candidate_bloom_bits,
+            candidate_bloom_hashes=config.candidate_bloom_hashes,
+        )
+        broad, extraction_stats = extract_broad_cinds(env, groups, extraction_config)
+        pertinent = consolidate_pertinent(broad)
+
+        elapsed = time.perf_counter() - started
+        stats = DiscoveryStats(
+            num_triples=len(encoded),
+            num_frequent_unary=len(frequent.unary_counts) if frequent else 0,
+            num_frequent_binary=len(frequent.binary_counts) if frequent else 0,
+            num_association_rules=len(frequent.association_rules) if frequent else 0,
+            num_capture_groups=extraction_stats.groups_total,
+            num_broad_cinds=_count_non_trivial_broad(broad),
+            num_pertinent_cinds=len(pertinent),
+            extraction=extraction_stats,
+        )
+        return DiscoveryResult(
+            cinds=pertinent,
+            association_rules=list(frequent.association_rules) if frequent else [],
+            dictionary=encoded.dictionary,
+            config=config,
+            stats=stats,
+            metrics=env.metrics,
+            elapsed_seconds=elapsed,
+            broad_cinds=broad_cind_list(broad) if config.keep_broad_cinds else None,
+        )
+
+
+def _count_non_trivial_broad(broad) -> int:
+    count = 0
+    for dependent, (refs, _support) in broad.items():
+        for referenced in refs:
+            if not CIND(dependent, referenced).is_trivial():
+                count += 1
+    return count
+
+
+def _as_encoded(dataset: Union[Dataset, EncodedDataset, Sequence]) -> EncodedDataset:
+    if isinstance(dataset, EncodedDataset):
+        return dataset
+    if isinstance(dataset, Dataset):
+        return dataset.encode()
+    return Dataset.from_tuples(dataset).encode()
+
+
+def find_pertinent_cinds(
+    dataset: Union[Dataset, EncodedDataset, Sequence],
+    support_threshold: int = 25,
+    **config_overrides,
+) -> DiscoveryResult:
+    """One-call convenience wrapper around :class:`RDFind`.
+
+    >>> result = find_pertinent_cinds(triples, support_threshold=2)
+    """
+    config = RDFindConfig(support_threshold=support_threshold, **config_overrides)
+    return RDFind(config).discover(dataset)

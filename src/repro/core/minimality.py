@@ -1,0 +1,118 @@
+"""Broad-to-pertinent consolidation: minimality filtering (Section 7.3).
+
+A broad CIND is *minimal* — and hence pertinent — unless it can be
+inferred from another valid CIND by
+
+* **dependent implication**: relaxing a binary dependent condition to one
+  of its unary parts, or
+* **referenced implication**: tightening a unary referenced condition to a
+  binary one.
+
+Any such implier has at least the support of the implied CIND (the
+dependent either grows or stays identical), so an implier of a broad CIND
+is itself broad; checking membership in the broad set is therefore a
+complete minimality test.  The paper organizes this as two consolidation
+rounds over the four arity classes (Ψ2:1 against Ψ1:1 and Ψ2:2, then Ψ1:1
+and Ψ2:2 against Ψ1:2); the set-membership formulation here performs the
+identical checks in a single pass.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from repro.core.cind import CIND, Capture, SupportedCIND
+from repro.core.extraction import BroadCINDs
+
+
+def broad_cind_list(broad: BroadCINDs) -> List[SupportedCIND]:
+    """Flatten the adjacency form into non-trivial ``SupportedCIND`` rows."""
+    result: List[SupportedCIND] = []
+    for dependent, (refs, support) in broad.items():
+        for referenced in refs:
+            cind = CIND(dependent, referenced)
+            if not cind.is_trivial():
+                result.append(SupportedCIND(cind, support))
+    result.sort(key=lambda sc: (-sc.support, sc.cind))
+    return result
+
+
+def consolidate_pertinent(broad: BroadCINDs) -> List[SupportedCIND]:
+    """Keep only the minimal CINDs among the broad ones.
+
+    ``broad`` is the extractor's adjacency form: dependent capture ->
+    (exact referenced captures, support).  Trivial inclusions are dropped
+    on the fly.
+    """
+    pertinent: List[SupportedCIND] = []
+    for dependent, (refs, support) in broad.items():
+        relaxations = tuple(dependent.unary_relaxations())
+        binary_parts = _binary_ref_index(refs)
+        for referenced in refs:
+            cind = CIND(dependent, referenced)
+            if cind.is_trivial():
+                continue
+            if _dependent_implied(cind, relaxations, broad):
+                continue
+            if _referenced_implied(cind, binary_parts):
+                continue
+            pertinent.append(SupportedCIND(cind, support))
+    pertinent.sort(key=lambda sc: (-sc.support, sc.cind))
+    return pertinent
+
+
+def _binary_ref_index(refs: FrozenSet[Capture]) -> Set[Capture]:
+    """Unary relaxations of the binary captures among ``refs``.
+
+    If a dependent's reference set contains a binary capture, the same
+    capture relaxed to either unary part is a referenced-implication
+    victim: the binary (tighter) inclusion implies the unary (looser) one.
+    """
+    index: Set[Capture] = set()
+    for capture in refs:
+        for relaxed in capture.unary_relaxations():
+            index.add(relaxed)
+    return index
+
+
+def _dependent_implied(
+    cind: CIND, relaxations: Tuple[Capture, ...], broad: BroadCINDs
+) -> bool:
+    """Is the CIND inferable by relaxing its (binary) dependent condition?
+
+    A valid relaxed CIND ``(α, φ1') ⊆ ref`` with ``φ1 ⇒ φ1'`` implies the
+    tighter ``(α, φ1) ⊆ ref`` because ``I(α, φ1) ⊆ I(α, φ1')``.  So the
+    CIND is non-minimal when a relaxation of its dependent capture
+    references the same capture in the broad set.
+    """
+    for relaxed in relaxations:
+        entry = broad.get(relaxed)
+        if entry is None:
+            continue
+        refs, _support = entry
+        implier = CIND(relaxed, cind.referenced)
+        if cind.referenced in refs and implier != cind and not implier.is_trivial():
+            return True
+    return False
+
+
+def _referenced_implied(cind: CIND, binary_parts: Set[Capture]) -> bool:
+    """Is the CIND inferable by tightening its (unary) referenced condition?
+
+    The tightened implier shares the dependent capture, hence lives in the
+    same adjacency row; ``binary_parts`` indexes the unary relaxations of
+    that row's binary references.  A unary reference found there is
+    implied — unless the only tightening is the trivial self-inclusion,
+    which :func:`_binary_ref_index` cannot produce because trivial binary
+    references never appear for the same dependent (a capture never
+    references itself and arity classes differ).
+    """
+    referenced = cind.referenced
+    if referenced.is_binary:
+        return False
+    return referenced in binary_parts
+
+
+def count_minimal(broad: BroadCINDs) -> int:
+    """Number of pertinent CINDs without materializing them all."""
+    return len(consolidate_pertinent(broad))

@@ -1,0 +1,171 @@
+"""Serializing discovery results to and from JSON.
+
+Discovery is the expensive step; its consumers (the query minimizer, the
+ontology and knowledge apps, downstream tooling) often run later or
+elsewhere.  This module renders a :class:`DiscoveryResult`'s CINDs and
+ARs into a self-contained JSON document (term strings inlined, no
+dictionary needed to read it) and reads such documents back into
+decoded, string-valued structures ready for
+:class:`repro.sparql.minimizer.QueryMinimizer` and friends.
+
+Schema (version 1)::
+
+    {
+      "format": "rdfind-result",
+      "version": 1,
+      "support_threshold": 25,
+      "variant": "RDFind",
+      "cinds": [
+        {"dep": {"attr": "s", "cond": [["p", "memberOf"]]},
+         "ref": {"attr": "s", "cond": [["p", "rdf:type"]]},
+         "support": 2},
+        ...
+      ],
+      "association_rules": [
+        {"lhs": ["o", "gradStudent"], "rhs": ["p", "rdf:type"], "support": 2},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Tuple, Union
+
+from repro.core.cind import (
+    CIND,
+    AssociationRule,
+    Capture,
+    SupportedAR,
+    SupportedCIND,
+    decode_capture,
+    decode_condition,
+)
+from repro.core.conditions import BinaryCondition, Condition, UnaryCondition
+from repro.core.discovery import DiscoveryResult
+from repro.rdf.model import Attr
+
+FORMAT_NAME = "rdfind-result"
+FORMAT_VERSION = 1
+
+
+def _condition_to_json(condition: Condition) -> List[List[str]]:
+    if isinstance(condition, UnaryCondition):
+        return [[condition.attr.symbol, condition.value]]
+    return [
+        [part.attr.symbol, part.value] for part in condition.unary_parts()
+    ]
+
+
+def _condition_from_json(payload: List[List[str]]) -> Condition:
+    if len(payload) == 1:
+        ((symbol, value),) = payload
+        return UnaryCondition(Attr.from_symbol(symbol), value)
+    if len(payload) == 2:
+        (s1, v1), (s2, v2) = payload
+        return BinaryCondition.make(
+            Attr.from_symbol(s1), v1, Attr.from_symbol(s2), v2
+        )
+    raise ValueError(f"malformed condition payload: {payload!r}")
+
+
+def _capture_to_json(capture: Capture) -> Dict:
+    return {
+        "attr": capture.attr.symbol,
+        "cond": _condition_to_json(capture.condition),
+    }
+
+
+def _capture_from_json(payload: Dict) -> Capture:
+    return Capture(
+        Attr.from_symbol(payload["attr"]),
+        _condition_from_json(payload["cond"]),
+    )
+
+
+def result_to_dict(result: DiscoveryResult) -> Dict:
+    """Render a discovery result as a JSON-ready dict (strings inlined)."""
+    dictionary = result.dictionary
+    return {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "support_threshold": result.support_threshold,
+        "variant": result.config.variant_name,
+        "cinds": [
+            {
+                "dep": _capture_to_json(
+                    decode_capture(sc.cind.dependent, dictionary)
+                ),
+                "ref": _capture_to_json(
+                    decode_capture(sc.cind.referenced, dictionary)
+                ),
+                "support": sc.support,
+            }
+            for sc in result.cinds
+        ],
+        "association_rules": [
+            {
+                "lhs": _condition_to_json(
+                    decode_condition(sa.rule.lhs, dictionary)
+                )[0],
+                "rhs": _condition_to_json(
+                    decode_condition(sa.rule.rhs, dictionary)
+                )[0],
+                "support": sa.support,
+            }
+            for sa in result.association_rules
+        ],
+    }
+
+
+def dump_result(result: DiscoveryResult, path: Union[str, os.PathLike]) -> None:
+    """Write a discovery result as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(result_to_dict(result), handle, ensure_ascii=False, indent=1)
+
+
+def parse_result_dict(
+    payload: Dict,
+) -> Tuple[List[SupportedCIND], List[SupportedAR], int]:
+    """Read a result document into string-valued CINDs/ARs plus its h.
+
+    The returned structures use string term values (like
+    :func:`repro.core.cind.decode_cind` output) and plug directly into
+    :meth:`QueryMinimizer <repro.sparql.minimizer.QueryMinimizer>` and the
+    apps' canonicalization helpers.
+    """
+    if payload.get("format") != FORMAT_NAME:
+        raise ValueError(f"not a {FORMAT_NAME} document")
+    if payload.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported version {payload.get('version')!r}")
+    cinds = [
+        SupportedCIND(
+            CIND(
+                _capture_from_json(row["dep"]),
+                _capture_from_json(row["ref"]),
+            ),
+            int(row["support"]),
+        )
+        for row in payload.get("cinds", [])
+    ]
+    rules = [
+        SupportedAR(
+            AssociationRule(
+                _condition_from_json([row["lhs"]]),
+                _condition_from_json([row["rhs"]]),
+            ),
+            int(row["support"]),
+        )
+        for row in payload.get("association_rules", [])
+    ]
+    return cinds, rules, int(payload.get("support_threshold", 1))
+
+
+def load_result(
+    path: Union[str, os.PathLike],
+) -> Tuple[List[SupportedCIND], List[SupportedAR], int]:
+    """Read a JSON result document written by :func:`dump_result`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_result_dict(json.load(handle))

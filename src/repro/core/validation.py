@@ -1,0 +1,279 @@
+"""Brute-force ground truth for CIND discovery.
+
+:class:`NaiveProfiler` computes interpretations, condition frequencies,
+association rules, valid/broad/pertinent CINDs directly from their
+definitions — materializing capture interpretations as Python sets and
+testing inclusion pairwise.  It is exponential-ish in practice and only
+suitable for small datasets, but it shares *no* algorithmic machinery with
+the RDFind pipeline (no capture groups, no Bloom filters, no lazy pruning),
+which makes it a genuine oracle: the test suite asserts that RDFind's
+output equals the oracle's on many small random datasets.
+
+The output conventions mirror RDFind's (see DESIGN.md):
+
+* only captures whose condition is *frequent* (frequency >= h) participate;
+* binary captures whose condition embeds a detected association rule are
+  dropped — they are extent-equal to a unary capture (equivalence pruning,
+  Section 5.1), and the AR itself is reported instead;
+* trivial CINDs (dependent condition implies referenced condition under
+  the same projection attribute) are never reported;
+* pertinent = broad (support >= h) and minimal (not inferable from another
+  valid CIND via dependent or referenced implication).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple, Union
+
+from repro.core.cind import (
+    CIND,
+    AssociationRule,
+    Capture,
+    SupportedAR,
+    SupportedCIND,
+)
+from repro.core.conditions import (
+    BinaryCondition,
+    Condition,
+    ConditionScope,
+    UnaryCondition,
+    conditions_of_triple,
+    is_binary,
+)
+from repro.rdf.model import Attr, Dataset, EncodedDataset
+
+
+class NaiveProfiler:
+    """Definition-level CIND profiler (testing oracle).
+
+    Parameters
+    ----------
+    dataset:
+        A string :class:`Dataset` (encoded internally) or an already
+        encoded dataset.
+    scope:
+        Restriction of projection/condition attributes; defaults to the
+        paper's general setting.
+    """
+
+    def __init__(
+        self,
+        dataset: Union[Dataset, EncodedDataset],
+        scope: Optional[ConditionScope] = None,
+        prune_ar_equivalents: bool = True,
+    ) -> None:
+        if isinstance(dataset, Dataset):
+            dataset = dataset.encode()
+        self.dataset = dataset
+        self.scope = scope if scope is not None else ConditionScope.full()
+        #: RDFind's convention replaces AR-embedding binary captures with
+        #: their unary twin; pass False to keep them (the semantics the
+        #: incremental maintainer uses).
+        self.prune_ar_equivalents = prune_ar_equivalents
+        self._condition_frequencies: Optional[Dict[Condition, int]] = None
+        self._universe_cache: Dict[int, Set[Capture]] = {}
+
+    # ------------------------------------------------------------------
+    # conditions and association rules
+    # ------------------------------------------------------------------
+
+    def condition_frequencies(self) -> Dict[Condition, int]:
+        """Frequency (number of satisfying triples) of every condition."""
+        if self._condition_frequencies is None:
+            counts: Counter = Counter()
+            for triple in self.dataset:
+                counts.update(conditions_of_triple(triple, self.scope))
+            self._condition_frequencies = dict(counts)
+        return self._condition_frequencies
+
+    def frequent_conditions(self, h: int) -> Dict[Condition, int]:
+        """Conditions with frequency >= ``h``."""
+        _require_support(h)
+        return {
+            condition: count
+            for condition, count in self.condition_frequencies().items()
+            if count >= h
+        }
+
+    def association_rules(self, h: int) -> List[SupportedAR]:
+        """Exact ARs among frequent conditions, with supports.
+
+        ``lhs → rhs`` is exact iff ``freq(lhs ∧ rhs) == freq(lhs)``; its
+        support equals that frequency (Lemma 2).
+        """
+        frequent = self.frequent_conditions(h)
+        rules: List[SupportedAR] = []
+        for condition, count in frequent.items():
+            if not is_binary(condition):
+                continue
+            first, second = condition.unary_parts()
+            if frequent.get(first) == count:
+                rules.append(SupportedAR(AssociationRule(first, second), count))
+            if frequent.get(second) == count:
+                rules.append(SupportedAR(AssociationRule(second, first), count))
+        rules.sort(key=lambda sar: (-sar.support, sar.rule))
+        return rules
+
+    def _ar_binary_conditions(self, h: int) -> Set[BinaryCondition]:
+        """Binary conditions that embed a detected AR (to be pruned)."""
+        return {sar.rule.binary_condition for sar in self.association_rules(h)}
+
+    # ------------------------------------------------------------------
+    # captures and interpretations
+    # ------------------------------------------------------------------
+
+    def capture_universe(self, h: int) -> Set[Capture]:
+        """Captures over frequent conditions, after AR equivalence pruning."""
+        cached = self._universe_cache.get(h)
+        if cached is not None:
+            return cached
+        frequent = self.frequent_conditions(h)
+        pruned_binaries = (
+            self._ar_binary_conditions(h) if self.prune_ar_equivalents else set()
+        )
+        universe: Set[Capture] = set()
+        for condition in frequent:
+            if is_binary(condition) and condition in pruned_binaries:
+                continue
+            used = set(condition.attrs)
+            for attr in self.scope.projection_attrs:
+                if attr not in used:
+                    universe.add(Capture(attr, condition))
+        self._universe_cache[h] = universe
+        return universe
+
+    def interpretation(self, capture: Capture) -> FrozenSet[int]:
+        """``I(T, c)`` — the capture's projected value set (Definition 2.2)."""
+        values = set()
+        attr_index = int(capture.attr)
+        condition = capture.condition
+        for triple in self.dataset:
+            if condition.matches(triple):
+                values.add(triple[attr_index])
+        return frozenset(values)
+
+    def interpretations(
+        self, captures: Iterable[Capture]
+    ) -> Dict[Capture, FrozenSet[int]]:
+        """Interpretations of many captures in a single dataset pass."""
+        wanted = set(captures)
+        values: Dict[Capture, Set[int]] = {capture: set() for capture in wanted}
+        for triple in self.dataset:
+            for condition in conditions_of_triple(triple, self.scope):
+                used = set(condition.attrs)
+                for attr in self.scope.projection_attrs:
+                    if attr in used:
+                        continue
+                    capture = Capture(attr, condition)
+                    if capture in wanted:
+                        values[capture].add(triple[int(attr)])
+        return {capture: frozenset(vals) for capture, vals in values.items()}
+
+    def capture_support(self, capture: Capture) -> int:
+        """Support of a capture: the size of its interpretation."""
+        return len(self.interpretation(capture))
+
+    # ------------------------------------------------------------------
+    # CINDs
+    # ------------------------------------------------------------------
+
+    def is_valid(self, cind: CIND) -> bool:
+        """Inclusion test straight from Definition 2.3."""
+        return self.interpretation(cind.dependent) <= self.interpretation(
+            cind.referenced
+        )
+
+    def support(self, cind: CIND) -> int:
+        """Support of a CIND: size of the dependent interpretation."""
+        return len(self.interpretation(cind.dependent))
+
+    def broad_cinds(self, h: int) -> Dict[CIND, int]:
+        """All valid, non-trivial CINDs with support >= ``h``.
+
+        Enumerates every ordered capture pair in the universe and tests
+        inclusion on materialized interpretations.
+        """
+        _require_support(h)
+        universe = sorted(self.capture_universe(h))
+        interpretations = self.interpretations(universe)
+        dependents = [
+            capture for capture in universe if len(interpretations[capture]) >= h
+        ]
+        result: Dict[CIND, int] = {}
+        for dependent in dependents:
+            dep_values = interpretations[dependent]
+            for referenced in universe:
+                if referenced == dependent:
+                    continue
+                cind = CIND(dependent, referenced)
+                if cind.is_trivial():
+                    continue
+                if dep_values <= interpretations[referenced]:
+                    result[cind] = len(dep_values)
+        return result
+
+    def pertinent_cinds(self, h: int) -> List[SupportedCIND]:
+        """Broad and minimal CINDs, straight from the definitions."""
+        broad = self.broad_cinds(h)
+        pertinent = [
+            SupportedCIND(cind, support)
+            for cind, support in broad.items()
+            if not self._is_implied(cind, broad, h)
+        ]
+        pertinent.sort(key=lambda sc: (-sc.support, sc.cind))
+        return pertinent
+
+    def _is_implied(self, cind: CIND, broad: Dict[CIND, int], h: int) -> bool:
+        """Is ``cind`` inferable from another broad CIND?
+
+        Dependent implication: relaxing a binary dependent condition to one
+        of its unary parts yields an implier; referenced implication:
+        tightening a unary referenced condition to a binary one yields an
+        implier.  Any valid implier is itself broad (it has at least the
+        same support), so checking against ``broad`` is complete.
+        """
+        dependent, referenced = cind
+        if dependent.is_binary:
+            for relaxed in dependent.unary_relaxations():
+                implier = CIND(relaxed, referenced)
+                if implier != cind and not implier.is_trivial() and implier in broad:
+                    return True
+        if referenced.is_unary:
+            for tightened in self._tightenings(referenced, h):
+                implier = CIND(dependent, tightened)
+                if implier != cind and not implier.is_trivial() and implier in broad:
+                    return True
+        return False
+
+    def _tightenings(self, capture: Capture, h: int) -> Iterator[Capture]:
+        """In-universe binary captures whose condition extends the capture's."""
+        index = self._tightening_index(h)
+        yield from index.get((capture.attr, capture.condition), ())
+
+    def _tightening_index(self, h: int) -> Dict[Tuple[Attr, Condition], list]:
+        """(attr, unary condition) -> binary captures extending it."""
+        cached = getattr(self, "_tightening_cache", None)
+        if cached is not None and cached[0] == h:
+            return cached[1]
+        index: Dict[Tuple[Attr, Condition], list] = {}
+        for candidate in self.capture_universe(h):
+            if not candidate.is_binary:
+                continue
+            for part in candidate.condition.unary_parts():
+                index.setdefault((candidate.attr, part), []).append(candidate)
+        self._tightening_cache = (h, index)
+        return index
+
+    # ------------------------------------------------------------------
+    # whole-result comparison helper
+    # ------------------------------------------------------------------
+
+    def discover(self, h: int) -> Tuple[List[SupportedCIND], List[SupportedAR]]:
+        """Pertinent CINDs and ARs, the full RDFind result, naively."""
+        return self.pertinent_cinds(h), self.association_rules(h)
+
+
+def _require_support(h: int) -> None:
+    if h < 1:
+        raise ValueError(f"support threshold must be >= 1, got {h}")

@@ -1,0 +1,34 @@
+"""A miniature Flink-like dataflow engine.
+
+The RDFind paper implements its discovery pipeline as a single Flink job
+(Appendix C).  This subpackage provides the operator vocabulary that job
+needs — ``map``/``flatMap``/``filter``, keyed aggregation with local
+combiners (Flink's GroupCombine + GroupReduce), ``coGroup`` joins, global
+reduction ("collect" to one worker), broadcast, and repartitioning — on top
+of an eager, deterministic, single-process executor that partitions data
+across *simulated workers*.
+
+Every stage records per-partition record counts and wall-clock time, so a
+job's *simulated parallel runtime* (sum over stages of the slowest
+partition) and shuffle volume can be reported.  These are the quantities
+behind the paper's scale-out and skew experiments (Figures 9, 12, 13): the
+shape of those curves is a function of per-partition load, which the
+simulation preserves exactly.
+"""
+
+from repro.dataflow.bloom import BloomFilter
+from repro.dataflow.engine import (
+    DataSet,
+    ExecutionEnvironment,
+    SimulatedOutOfMemory,
+)
+from repro.dataflow.metrics import JobMetrics, StageMetrics
+
+__all__ = [
+    "BloomFilter",
+    "DataSet",
+    "ExecutionEnvironment",
+    "SimulatedOutOfMemory",
+    "JobMetrics",
+    "StageMetrics",
+]

@@ -1,0 +1,588 @@
+"""Eager, partitioned, single-process dataflow engine.
+
+This is the substrate RDFind runs on in this reproduction, standing in for
+Apache Flink (see DESIGN.md, substitutions).  An
+:class:`ExecutionEnvironment` fixes a *parallelism* (number of simulated
+workers); a :class:`DataSet` is a list of per-worker partitions.  Operators
+execute eagerly, one partition at a time, timing each partition so that
+the engine can report what a real cluster would have achieved
+(:class:`repro.dataflow.metrics.JobMetrics`).
+
+Operator vocabulary (mapping to the paper's Appendix C):
+
+========================  ====================================================
+paper / Flink             here
+========================  ====================================================
+``Map`` / ``FlatMap``     :meth:`DataSet.map`, :meth:`DataSet.flat_map`,
+                          :meth:`DataSet.filter`
+``GroupBy`` + ``Group-    :meth:`DataSet.reduce_by_key` (hash-partitioned
+Combine`` + ``Group-      shuffle with optional local pre-aggregation — the
+Reduce``                  paper's "early aggregation")
+``CoGroup``               :meth:`DataSet.co_group`
+``GlobalReduce``          :meth:`DataSet.reduce_partitions` (local partials
+                          merged on one worker — used for Bloom unions)
+``Broadcast``             :meth:`DataSet.broadcast` (collect + per-worker
+                          copy accounting)
+``Repartition``           :meth:`DataSet.rebalance`,
+                          :meth:`DataSet.partition_by_key`
+========================  ====================================================
+
+A configurable per-partition *memory budget* (max records materialized in
+any one worker's in-memory state) emulates out-of-memory failures: stateful
+operators raise :class:`SimulatedOutOfMemory` when a single worker would
+have to hold more records than the budget allows.  The paper's Figures 7
+and 13 report such failures for Cinderella and RDFind-DE.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Generic,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
+
+from repro.dataflow.metrics import JobMetrics, StageMetrics
+
+T = TypeVar("T")
+U = TypeVar("U")
+K = TypeVar("K")
+V = TypeVar("V")
+
+
+class SimulatedOutOfMemory(MemoryError):
+    """A simulated worker exceeded its per-partition memory budget."""
+
+    def __init__(self, stage: str, records: int, budget: int) -> None:
+        super().__init__(
+            f"stage {stage!r}: worker needed {records} in-memory records, "
+            f"budget is {budget}"
+        )
+        self.stage = stage
+        self.records = records
+        self.budget = budget
+
+
+class ExecutionEnvironment:
+    """Factory for :class:`DataSet` objects plus job-wide configuration.
+
+    Parameters
+    ----------
+    parallelism:
+        Number of simulated workers (>= 1).  All datasets created from this
+        environment have exactly this many partitions.
+    memory_budget:
+        Optional cap on the number of records any single simulated worker
+        may hold in in-memory state (grouping tables, collected results).
+        ``None`` disables the check.
+    name:
+        Job name used in metric reports.
+    """
+
+    def __init__(
+        self,
+        parallelism: int = 1,
+        memory_budget: Optional[int] = None,
+        name: str = "job",
+    ) -> None:
+        if parallelism < 1:
+            raise ValueError("parallelism must be >= 1")
+        self.parallelism = int(parallelism)
+        self.memory_budget = memory_budget
+        self.metrics = JobMetrics(job_name=name, parallelism=self.parallelism)
+
+    def from_collection(
+        self, items: Iterable[T], name: str = "source"
+    ) -> "DataSet[T]":
+        """Create a dataset by round-robin partitioning ``items``."""
+        partitions: List[List[T]] = [[] for _ in range(self.parallelism)]
+        start = time.perf_counter()
+        for index, item in enumerate(items):
+            partitions[index % self.parallelism].append(item)
+        elapsed = time.perf_counter() - start
+        stage = self.metrics.new_stage(name)
+        stage.partition_seconds = [elapsed / self.parallelism] * self.parallelism
+        stage.records_in = [len(p) for p in partitions]
+        stage.records_out = [len(p) for p in partitions]
+        return DataSet(self, partitions, name=name)
+
+    def from_partitions(
+        self, partitions: Sequence[Sequence[T]], name: str = "source"
+    ) -> "DataSet[T]":
+        """Create a dataset from pre-built partitions (padded/truncated)."""
+        normalized: List[List[T]] = [list(p) for p in partitions]
+        while len(normalized) < self.parallelism:
+            normalized.append([])
+        if len(normalized) > self.parallelism:
+            merged = normalized[: self.parallelism]
+            for extra in normalized[self.parallelism :]:
+                merged[0].extend(extra)
+            normalized = merged
+        return DataSet(self, normalized, name=name)
+
+    def _check_budget(self, stage: str, records: int) -> None:
+        budget = self.memory_budget
+        if budget is not None and records > budget:
+            raise SimulatedOutOfMemory(stage, records, budget)
+
+
+def _hash_partition(key: Any, parallelism: int) -> int:
+    return hash(key) % parallelism
+
+
+class DataSet(Generic[T]):
+    """An immutable, partitioned collection plus the operators over it."""
+
+    __slots__ = ("env", "partitions", "name")
+
+    def __init__(
+        self,
+        env: ExecutionEnvironment,
+        partitions: List[List[T]],
+        name: str = "dataset",
+    ) -> None:
+        self.env = env
+        self.partitions = partitions
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # element-wise operators
+    # ------------------------------------------------------------------
+
+    def map(self, fn: Callable[[T], U], name: str = "map") -> "DataSet[U]":
+        """Apply ``fn`` to every record."""
+        stage = self.env.metrics.new_stage(name)
+        out: List[List[U]] = []
+        for partition in self.partitions:
+            start = time.perf_counter()
+            result = [fn(item) for item in partition]
+            stage.partition_seconds.append(time.perf_counter() - start)
+            stage.records_in.append(len(partition))
+            stage.records_out.append(len(result))
+            out.append(result)
+        return DataSet(self.env, out, name=name)
+
+    def flat_map(
+        self, fn: Callable[[T], Iterable[U]], name: str = "flat_map"
+    ) -> "DataSet[U]":
+        """Apply ``fn`` and flatten its iterable results."""
+        stage = self.env.metrics.new_stage(name)
+        out: List[List[U]] = []
+        for partition in self.partitions:
+            start = time.perf_counter()
+            result: List[U] = []
+            extend = result.extend
+            for item in partition:
+                extend(fn(item))
+            stage.partition_seconds.append(time.perf_counter() - start)
+            stage.records_in.append(len(partition))
+            stage.records_out.append(len(result))
+            out.append(result)
+        return DataSet(self.env, out, name=name)
+
+    def filter(self, pred: Callable[[T], bool], name: str = "filter") -> "DataSet[T]":
+        """Keep records for which ``pred`` is true."""
+        stage = self.env.metrics.new_stage(name)
+        out: List[List[T]] = []
+        for partition in self.partitions:
+            start = time.perf_counter()
+            result = [item for item in partition if pred(item)]
+            stage.partition_seconds.append(time.perf_counter() - start)
+            stage.records_in.append(len(partition))
+            stage.records_out.append(len(result))
+            out.append(result)
+        return DataSet(self.env, out, name=name)
+
+    def map_partition(
+        self,
+        fn: Callable[[List[T], int], Iterable[U]],
+        name: str = "map_partition",
+    ) -> "DataSet[U]":
+        """Apply ``fn(partition, worker_index)`` per partition."""
+        stage = self.env.metrics.new_stage(name)
+        out: List[List[U]] = []
+        for worker, partition in enumerate(self.partitions):
+            start = time.perf_counter()
+            result = list(fn(partition, worker))
+            stage.partition_seconds.append(time.perf_counter() - start)
+            stage.records_in.append(len(partition))
+            stage.records_out.append(len(result))
+            out.append(result)
+        return DataSet(self.env, out, name=name)
+
+    # ------------------------------------------------------------------
+    # keyed aggregation (GroupBy + GroupCombine + GroupReduce)
+    # ------------------------------------------------------------------
+
+    def reduce_by_key(
+        self,
+        key_fn: Callable[[T], K],
+        value_fn: Callable[[T], V],
+        reduce_fn: Callable[[V, V], V],
+        combine: bool = True,
+        name: str = "reduce_by_key",
+    ) -> "DataSet[Tuple[K, V]]":
+        """Hash-partitioned keyed reduction producing ``(key, value)`` pairs.
+
+        With ``combine=True`` (the default, matching the paper's
+        early-aggregation optimisation) each worker pre-aggregates its
+        partition before the shuffle, which shrinks shuffle volume for
+        low-cardinality keys.
+        """
+        env = self.env
+        parallelism = env.parallelism
+        stage = env.metrics.new_stage(name)
+        buckets: List[List[Tuple[K, V]]] = [[] for _ in range(parallelism)]
+        shuffled = 0
+        for partition in self.partitions:
+            start = time.perf_counter()
+            if combine:
+                local: Dict[K, V] = {}
+                for item in partition:
+                    key = key_fn(item)
+                    value = value_fn(item)
+                    if key in local:
+                        local[key] = reduce_fn(local[key], value)
+                    else:
+                        local[key] = value
+                env._check_budget(name, len(local))
+                pairs: Iterable[Tuple[K, V]] = local.items()
+                emitted = len(local)
+            else:
+                pairs = [(key_fn(item), value_fn(item)) for item in partition]
+                emitted = len(partition)
+            for key, value in pairs:
+                buckets[_hash_partition(key, parallelism)].append((key, value))
+            shuffled += emitted
+            stage.partition_seconds.append(time.perf_counter() - start)
+            stage.records_in.append(len(partition))
+            stage.records_out.append(emitted)
+        stage.shuffled_records = shuffled
+
+        reduce_stage = env.metrics.new_stage(name + "/reduce")
+        out: List[List[Tuple[K, V]]] = []
+        for bucket in buckets:
+            start = time.perf_counter()
+            grouped: Dict[K, V] = {}
+            for key, value in bucket:
+                if key in grouped:
+                    grouped[key] = reduce_fn(grouped[key], value)
+                else:
+                    grouped[key] = value
+            env._check_budget(name + "/reduce", len(grouped))
+            result = list(grouped.items())
+            reduce_stage.partition_seconds.append(time.perf_counter() - start)
+            reduce_stage.records_in.append(len(bucket))
+            reduce_stage.records_out.append(len(result))
+            out.append(result)
+        return DataSet(env, out, name=name)
+
+    def flat_map_reduce_by_key(
+        self,
+        flat_fn: Callable[[T], Iterable[Tuple[K, V]]],
+        reduce_fn: Callable[[V, V], V],
+        state_cost_fn: Optional[Callable[[V], int]] = None,
+        name: str = "flat_map_reduce_by_key",
+    ) -> "DataSet[Tuple[K, V]]":
+        """Fused flatMap + keyed reduction (Flink's operator chaining).
+
+        ``flat_fn`` yields ``(key, value)`` pairs per record; each pair is
+        folded into the local combine state *as it is produced*, so the
+        flatMap's output is never materialized — essential when a record
+        expands into very many pairs (e.g. CIND candidate sets, which are
+        quadratic in capture-group size).
+
+        ``state_cost_fn`` prices a combine-state value (e.g. the size of a
+        referenced-capture set); when given, the per-worker memory budget
+        is enforced against the *total state cost*, which models a real
+        combiner running out of memory (the paper's RDFind-DE failures).
+        """
+        env = self.env
+        parallelism = env.parallelism
+        stage = env.metrics.new_stage(name)
+        buckets: List[List[Tuple[K, V]]] = [[] for _ in range(parallelism)]
+        shuffled = 0
+        budget = env.memory_budget
+        for partition in self.partitions:
+            start = time.perf_counter()
+            local: Dict[K, V] = {}
+            state_cost = 0
+            for item in partition:
+                for key, value in flat_fn(item):
+                    previous = local.get(key)
+                    if previous is None:
+                        local[key] = value
+                        if state_cost_fn is not None:
+                            state_cost += state_cost_fn(value)
+                    else:
+                        merged = reduce_fn(previous, value)
+                        local[key] = merged
+                        if state_cost_fn is not None:
+                            state_cost += state_cost_fn(merged) - state_cost_fn(
+                                previous
+                            )
+                    if budget is not None:
+                        used = state_cost if state_cost_fn is not None else len(local)
+                        if used > budget:
+                            raise SimulatedOutOfMemory(name, used, budget)
+            stage.peak_state_cost = max(
+                stage.peak_state_cost,
+                state_cost if state_cost_fn is not None else len(local),
+            )
+            for key, value in local.items():
+                buckets[_hash_partition(key, parallelism)].append((key, value))
+            shuffled += len(local)
+            stage.partition_seconds.append(time.perf_counter() - start)
+            stage.records_in.append(len(partition))
+            stage.records_out.append(len(local))
+        stage.shuffled_records = shuffled
+
+        reduce_stage = env.metrics.new_stage(name + "/reduce")
+        out: List[List[Tuple[K, V]]] = []
+        for bucket in buckets:
+            start = time.perf_counter()
+            grouped: Dict[K, V] = {}
+            for key, value in bucket:
+                if key in grouped:
+                    grouped[key] = reduce_fn(grouped[key], value)
+                else:
+                    grouped[key] = value
+            env._check_budget(name + "/reduce", len(grouped))
+            result = list(grouped.items())
+            reduce_stage.partition_seconds.append(time.perf_counter() - start)
+            reduce_stage.records_in.append(len(bucket))
+            reduce_stage.records_out.append(len(result))
+            out.append(result)
+        return DataSet(env, out, name=name)
+
+    def group_by_key(
+        self,
+        key_fn: Callable[[T], K],
+        name: str = "group_by_key",
+    ) -> "DataSet[Tuple[K, List[T]]]":
+        """Hash-partitioned grouping into ``(key, [records])`` pairs."""
+        env = self.env
+        parallelism = env.parallelism
+        stage = env.metrics.new_stage(name)
+        buckets: List[List[Tuple[K, T]]] = [[] for _ in range(parallelism)]
+        shuffled = 0
+        for partition in self.partitions:
+            start = time.perf_counter()
+            for item in partition:
+                buckets[_hash_partition(key_fn(item), parallelism)].append(
+                    (key_fn(item), item)
+                )
+            shuffled += len(partition)
+            stage.partition_seconds.append(time.perf_counter() - start)
+            stage.records_in.append(len(partition))
+            stage.records_out.append(len(partition))
+        stage.shuffled_records = shuffled
+
+        group_stage = env.metrics.new_stage(name + "/group")
+        out: List[List[Tuple[K, List[T]]]] = []
+        for bucket in buckets:
+            start = time.perf_counter()
+            grouped: Dict[K, List[T]] = {}
+            for key, item in bucket:
+                grouped.setdefault(key, []).append(item)
+            env._check_budget(name + "/group", len(bucket))
+            result = list(grouped.items())
+            group_stage.partition_seconds.append(time.perf_counter() - start)
+            group_stage.records_in.append(len(bucket))
+            group_stage.records_out.append(len(result))
+            out.append(result)
+        return DataSet(env, out, name=name)
+
+    # ------------------------------------------------------------------
+    # joins
+    # ------------------------------------------------------------------
+
+    def co_group(
+        self,
+        other: "DataSet[U]",
+        key_self: Callable[[T], K],
+        key_other: Callable[[U], K],
+        fn: Callable[[K, List[T], List[U]], Iterable[Any]],
+        name: str = "co_group",
+    ) -> "DataSet[Any]":
+        """Shuffle both inputs by key and apply ``fn`` per key group.
+
+        ``fn`` receives the key and the (possibly empty) record lists from
+        each side, enabling inner, outer, and semi joins.
+        """
+        env = self.env
+        parallelism = env.parallelism
+        stage = env.metrics.new_stage(name)
+        left_buckets: List[List[Tuple[K, T]]] = [[] for _ in range(parallelism)]
+        right_buckets: List[List[Tuple[K, U]]] = [[] for _ in range(parallelism)]
+        shuffled = 0
+        for partition in self.partitions:
+            start = time.perf_counter()
+            for item in partition:
+                key = key_self(item)
+                left_buckets[_hash_partition(key, parallelism)].append((key, item))
+            shuffled += len(partition)
+            stage.partition_seconds.append(time.perf_counter() - start)
+            stage.records_in.append(len(partition))
+            stage.records_out.append(len(partition))
+        for partition in other.partitions:
+            start = time.perf_counter()
+            for item in partition:
+                key = key_other(item)
+                right_buckets[_hash_partition(key, parallelism)].append((key, item))
+            shuffled += len(partition)
+            stage.partition_seconds[-1] += time.perf_counter() - start
+        stage.shuffled_records = shuffled
+
+        apply_stage = env.metrics.new_stage(name + "/apply")
+        out: List[List[Any]] = []
+        for left_bucket, right_bucket in zip(left_buckets, right_buckets):
+            start = time.perf_counter()
+            left_groups: Dict[K, List[T]] = {}
+            for key, item in left_bucket:
+                left_groups.setdefault(key, []).append(item)
+            right_groups: Dict[K, List[U]] = {}
+            for key, item in right_bucket:
+                right_groups.setdefault(key, []).append(item)
+            env._check_budget(name + "/apply", len(left_bucket) + len(right_bucket))
+            result: List[Any] = []
+            for key in set(left_groups) | set(right_groups):
+                result.extend(
+                    fn(key, left_groups.get(key, []), right_groups.get(key, []))
+                )
+            apply_stage.partition_seconds.append(time.perf_counter() - start)
+            apply_stage.records_in.append(len(left_bucket) + len(right_bucket))
+            apply_stage.records_out.append(len(result))
+            out.append(result)
+        return DataSet(env, out, name=name)
+
+    # ------------------------------------------------------------------
+    # global operations
+    # ------------------------------------------------------------------
+
+    def reduce_partitions(
+        self,
+        local_fn: Callable[[List[T]], U],
+        merge_fn: Callable[[U, U], U],
+        name: str = "reduce_partitions",
+    ) -> U:
+        """Per-worker partial reduction merged on a single worker.
+
+        This mirrors the paper's Bloom-filter construction: each worker
+        builds a local partial, then one worker unions the partials
+        (Figure 5, steps 3-4).
+        """
+        stage = self.env.metrics.new_stage(name)
+        partials: List[U] = []
+        for partition in self.partitions:
+            start = time.perf_counter()
+            partials.append(local_fn(partition))
+            stage.partition_seconds.append(time.perf_counter() - start)
+            stage.records_in.append(len(partition))
+            stage.records_out.append(1)
+        stage.shuffled_records = max(0, len(partials) - 1)
+
+        merge_stage = self.env.metrics.new_stage(name + "/merge")
+        start = time.perf_counter()
+        merged = partials[0]
+        for partial in partials[1:]:
+            merged = merge_fn(merged, partial)
+        merge_stage.partition_seconds.append(time.perf_counter() - start)
+        merge_stage.records_in.append(len(partials))
+        merge_stage.records_out.append(1)
+        return merged
+
+    def collect(self, name: str = "collect") -> List[T]:
+        """Gather all records on the driver."""
+        stage = self.env.metrics.new_stage(name)
+        out: List[T] = []
+        for partition in self.partitions:
+            start = time.perf_counter()
+            out.extend(partition)
+            stage.partition_seconds.append(time.perf_counter() - start)
+            stage.records_in.append(len(partition))
+            stage.records_out.append(len(partition))
+        stage.shuffled_records = len(out)
+        self.env._check_budget(name, len(out))
+        return out
+
+    def broadcast(self, name: str = "broadcast") -> List[T]:
+        """Collect and account for a copy per simulated worker."""
+        values = self.collect(name=name)
+        stage = self.env.metrics.stages[-1]
+        stage.broadcast_records = len(values) * self.env.parallelism
+        return values
+
+    def count(self) -> int:
+        """Total number of records (no stage recorded)."""
+        return sum(len(p) for p in self.partitions)
+
+    # ------------------------------------------------------------------
+    # repartitioning
+    # ------------------------------------------------------------------
+
+    def rebalance(self, name: str = "rebalance") -> "DataSet[T]":
+        """Round-robin redistribute records evenly across workers."""
+        env = self.env
+        parallelism = env.parallelism
+        stage = env.metrics.new_stage(name)
+        out: List[List[T]] = [[] for _ in range(parallelism)]
+        index = 0
+        total = 0
+        for partition in self.partitions:
+            start = time.perf_counter()
+            for item in partition:
+                out[index % parallelism].append(item)
+                index += 1
+            total += len(partition)
+            stage.partition_seconds.append(time.perf_counter() - start)
+            stage.records_in.append(len(partition))
+            stage.records_out.append(len(partition))
+        stage.shuffled_records = total
+        return DataSet(env, out, name=name)
+
+    def partition_by_key(
+        self, key_fn: Callable[[T], K], name: str = "partition_by_key"
+    ) -> "DataSet[T]":
+        """Hash-redistribute records by key."""
+        env = self.env
+        parallelism = env.parallelism
+        stage = env.metrics.new_stage(name)
+        out: List[List[T]] = [[] for _ in range(parallelism)]
+        total = 0
+        for partition in self.partitions:
+            start = time.perf_counter()
+            for item in partition:
+                out[_hash_partition(key_fn(item), parallelism)].append(item)
+            total += len(partition)
+            stage.partition_seconds.append(time.perf_counter() - start)
+            stage.records_in.append(len(partition))
+            stage.records_out.append(len(partition))
+        stage.shuffled_records = total
+        return DataSet(env, out, name=name)
+
+    def union(self, other: "DataSet[T]", name: str = "union") -> "DataSet[T]":
+        """Concatenate two datasets partition-wise (no shuffle)."""
+        stage = self.env.metrics.new_stage(name)
+        out: List[List[T]] = []
+        for left, right in zip(self.partitions, other.partitions):
+            start = time.perf_counter()
+            merged = left + right
+            stage.partition_seconds.append(time.perf_counter() - start)
+            stage.records_in.append(len(merged))
+            stage.records_out.append(len(merged))
+            out.append(merged)
+        return DataSet(self.env, out, name=name)
+
+    def __repr__(self) -> str:
+        sizes = [len(p) for p in self.partitions]
+        return f"<DataSet {self.name!r}: {sum(sizes)} records in {sizes}>"

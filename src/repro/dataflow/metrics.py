@@ -1,0 +1,150 @@
+"""Execution metrics for the simulated dataflow engine.
+
+Each operator application is a *stage*.  A stage records, per simulated
+worker (partition), how many records went in and out and how long the
+worker's share took on the real CPU.  From these we derive:
+
+* ``simulated_parallel_seconds`` — the wall-clock a real cluster with that
+  many workers would need, modelled as the sum over stages of the slowest
+  partition.  This is the quantity plotted in the paper's scale-out
+  experiment (Figure 9): skewed stages do not get faster with more
+  workers, balanced ones do.
+* ``total_cpu_seconds`` — the aggregate work, independent of parallelism.
+* ``shuffled_records`` / ``broadcast_records`` — network volume proxies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class StageMetrics:
+    """Per-partition accounting for one operator application."""
+
+    name: str
+    partition_seconds: List[float] = field(default_factory=list)
+    records_in: List[int] = field(default_factory=list)
+    records_out: List[int] = field(default_factory=list)
+    shuffled_records: int = 0
+    broadcast_records: int = 0
+    #: Largest combine-state cost any worker reached (fused operators).
+    peak_state_cost: int = 0
+
+    @property
+    def parallel_seconds(self) -> float:
+        """Time the slowest partition spent — the stage's simulated latency."""
+        return max(self.partition_seconds, default=0.0)
+
+    @property
+    def cpu_seconds(self) -> float:
+        """Total CPU time across all partitions."""
+        return sum(self.partition_seconds)
+
+    @property
+    def total_in(self) -> int:
+        """Records consumed across all partitions."""
+        return sum(self.records_in)
+
+    @property
+    def total_out(self) -> int:
+        """Records produced across all partitions."""
+        return sum(self.records_out)
+
+    @property
+    def skew(self) -> float:
+        """Max/mean partition time; 1.0 means perfectly balanced."""
+        times = [t for t in self.partition_seconds if t > 0]
+        if not times:
+            return 1.0
+        mean = sum(times) / len(times)
+        if mean == 0:
+            return 1.0
+        return max(times) / mean
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.name}: in={self.total_in} out={self.total_out} "
+            f"par={self.parallel_seconds * 1000:.1f}ms cpu={self.cpu_seconds * 1000:.1f}ms "
+            f"skew={self.skew:.2f} shuffle={self.shuffled_records} "
+            f"bcast={self.broadcast_records}"
+        )
+
+
+@dataclass
+class JobMetrics:
+    """Accumulated metrics for one dataflow job."""
+
+    job_name: str = ""
+    parallelism: int = 1
+    stages: List[StageMetrics] = field(default_factory=list)
+
+    def new_stage(self, name: str) -> StageMetrics:
+        """Open (and register) a stage record."""
+        stage = StageMetrics(name=name)
+        self.stages.append(stage)
+        return stage
+
+    @property
+    def simulated_parallel_seconds(self) -> float:
+        """Simulated cluster wall-clock: sum of slowest-partition times."""
+        return sum(stage.parallel_seconds for stage in self.stages)
+
+    @property
+    def total_cpu_seconds(self) -> float:
+        """Total CPU time across all stages and partitions."""
+        return sum(stage.cpu_seconds for stage in self.stages)
+
+    @property
+    def shuffled_records(self) -> int:
+        """Total records moved across simulated workers."""
+        return sum(stage.shuffled_records for stage in self.stages)
+
+    @property
+    def broadcast_records(self) -> int:
+        """Total record-copies broadcast to workers."""
+        return sum(stage.broadcast_records for stage in self.stages)
+
+    def stage_by_name(self, name: str) -> Optional[StageMetrics]:
+        """First stage with the given name, if any."""
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        return None
+
+    def merge_prefixed(self, other: "JobMetrics", prefix: str) -> None:
+        """Absorb another job's stages under a name prefix."""
+        for stage in other.stages:
+            absorbed = StageMetrics(
+                name=f"{prefix}{stage.name}",
+                partition_seconds=list(stage.partition_seconds),
+                records_in=list(stage.records_in),
+                records_out=list(stage.records_out),
+                shuffled_records=stage.shuffled_records,
+                broadcast_records=stage.broadcast_records,
+            )
+            self.stages.append(absorbed)
+
+    def summary(self) -> Dict[str, float]:
+        """Headline numbers as a dict (useful for benchmark rows)."""
+        return {
+            "parallelism": self.parallelism,
+            "stages": len(self.stages),
+            "simulated_parallel_seconds": self.simulated_parallel_seconds,
+            "total_cpu_seconds": self.total_cpu_seconds,
+            "shuffled_records": self.shuffled_records,
+            "broadcast_records": self.broadcast_records,
+        }
+
+    def describe(self) -> str:
+        """Multi-line report of all stages plus totals."""
+        lines = [f"job {self.job_name!r} (parallelism={self.parallelism})"]
+        lines.extend("  " + stage.describe() for stage in self.stages)
+        lines.append(
+            f"  TOTAL: par={self.simulated_parallel_seconds * 1000:.1f}ms "
+            f"cpu={self.total_cpu_seconds * 1000:.1f}ms "
+            f"shuffle={self.shuffled_records} bcast={self.broadcast_records}"
+        )
+        return "\n".join(lines)

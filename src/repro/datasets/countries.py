@@ -1,0 +1,96 @@
+"""Countries: the paper's smallest evaluation dataset (~5.6k triples).
+
+A geographic dataset of countries, their capitals, regions, currencies,
+languages, and memberships.  Planted CIND-bearing structure:
+
+* every subject of ``capital`` is a country (domain CIND);
+* every object of ``capital`` is typed ``City`` (range CIND);
+* all members of the EU lie in the Europe region (knowledge-discovery
+  style CIND with moderate support);
+* all eurozone members use the euro *and* are EU members (nested
+  conditions).
+"""
+
+from __future__ import annotations
+
+from repro.datasets.synth import GraphBuilder, entity_names, scaled
+from repro.rdf.model import Dataset
+
+REGIONS = ("Europe", "Asia", "Africa", "Americas", "Oceania")
+
+_SUBREGIONS = {
+    "Europe": ("WesternEurope", "EasternEurope", "NorthernEurope", "SouthernEurope"),
+    "Asia": ("EasternAsia", "SouthernAsia", "CentralAsia", "WesternAsia"),
+    "Africa": ("NorthernAfrica", "WesternAfrica", "EasternAfrica", "SouthernAfrica"),
+    "Americas": ("NorthernAmerica", "SouthCentralAmerica", "Caribbean"),
+    "Oceania": ("AustraliaNZ", "Melanesia", "Polynesia"),
+}
+
+
+def countries(scale: float = 1.0, seed: int = 101) -> Dataset:
+    """Generate the Countries dataset (paper size ≈ 5,563 triples at scale 1)."""
+    builder = GraphBuilder("Countries", seed)
+    rng = builder.rng
+
+    n_countries = scaled(335, scale, minimum=10)
+    country_uris = entity_names("country", n_countries)
+    city_uris = entity_names("city", n_countries)
+    currencies = entity_names("currency", max(4, n_countries // 2))
+    languages = entity_names("language", max(4, n_countries // 3))
+    organizations = entity_names("org", 12)
+
+    currency_chooser = builder.zipf(currencies, alpha=0.9)
+    language_chooser = builder.zipf(languages, alpha=0.9)
+
+    region_of = {}
+    for index, country in enumerate(country_uris):
+        region = REGIONS[index % len(REGIONS)]
+        region_of[country] = region
+        capital = city_uris[index]
+
+        builder.add_type(country, "Country")
+        builder.add(country, "name", f'"Country {index}"')
+        builder.add(country, "capital", capital)
+        builder.add(country, "region", region)
+        builder.add(country, "subregion", builder.pick(_SUBREGIONS[region]))
+        builder.add(country, "currency", currency_chooser.choice())
+        builder.add(country, "officialLanguage", language_chooser.choice())
+        builder.add(country, "population", f'"{rng.randint(10_000, 1_400_000_000)}"')
+
+        builder.add_type(capital, "City")
+        builder.add(capital, "name", f'"Capital {index}"')
+        builder.add(capital, "capitalOf", country)
+
+    # Borders: each country borders a few same-region neighbours.
+    by_region = {region: [] for region in REGIONS}
+    for country, region in region_of.items():
+        by_region[region].append(country)
+    for country, region in region_of.items():
+        for neighbour in builder.pick_some(by_region[region], 2, 5):
+            if neighbour != country:
+                builder.add(country, "borders", neighbour)
+
+    # Memberships: the UN takes everyone; the EU only European countries;
+    # eurozone members are EU members that use the euro.
+    europe = by_region["Europe"]
+    eu_members = europe[: max(2, int(len(europe) * 0.6))]
+    euro = currencies[0]
+    for country in country_uris:
+        builder.add(country, "memberOf", organizations[0])  # org/0 = UN
+    for country in eu_members:
+        builder.add(country, "memberOf", organizations[1])  # org/1 = EU
+    eurozone = eu_members[: max(2, int(len(eu_members) * 0.7))]
+    for country in eurozone:
+        builder.add(country, "currencyUnion", euro)
+        builder.add(country, "memberOf", organizations[2])  # org/2 = eurozone
+    for organization in organizations[:3]:
+        builder.add_type(organization, "Organization")
+
+    # A sprinkling of loosely structured facts for the long tail.
+    for index, country in enumerate(country_uris):
+        if rng.random() < 0.5:
+            builder.add(country, "motto", f'"motto {index}"')
+        if rng.random() < 0.4:
+            builder.add(country, "callingCode", f'"+{rng.randint(1, 999)}"')
+
+    return builder.build()

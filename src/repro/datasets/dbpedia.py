@@ -1,0 +1,174 @@
+"""DBpedia 2014 stand-ins: DB14-MPCE and DB14-PLE (scaled).
+
+``DB14-MPCE`` (mapping-based properties, cleaned & extended; paper: 33.3M
+triples) is the heterogeneous encyclopedic dataset most of the paper's
+example CINDs come from.  Planted structure, mirroring Section 8.4 and
+Appendix B:
+
+* ``associatedBand ⊑ associatedMusicalArtist``: every ``associatedBand``
+  triple is accompanied by an ``associatedMusicalArtist`` triple with the
+  same subject and object, yielding the paper's two high-support
+  subproperty CINDs (s-side and o-side);
+* the AC/DC example: the songs written by ``Angus_Young`` and by
+  ``Malcolm_Young`` coincide (mutual CINDs with support 26);
+* ``areaCode 559 ⊆ partOf California``: 98 cities share area code 559 and
+  all of them are partOf California;
+* a class hierarchy with subclass pairs (the ``Leptodactylidae ⊆ Frog``
+  pattern).
+
+``DB14-PLE`` (person literal extended; paper: 152.9M) is a person-centric
+dataset dominated by literal-valued predicates — the long-tail stress
+test.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.synth import GraphBuilder, entity_names, scaled
+from repro.rdf.model import Dataset
+
+_SETTLEMENT_STATES = (
+    "California", "Texas", "NewYork", "Florida", "Illinois",
+    "Ohio", "Georgia", "Washington", "Oregon", "Nevada",
+)
+
+_CLASS_HIERARCHY = (
+    ("Leptodactylidae", "Frog"),
+    ("Frog", "Amphibian"),
+    ("GrandPrix", "Race"),
+    ("Senator", "Politician"),
+    ("Volcano", "Mountain"),
+)
+
+
+def db14_mpce(scale: float = 1.0, seed: int = 606) -> Dataset:
+    """Generate DB14-MPCE (~150k triples at scale 1; paper: 33.3M)."""
+    builder = GraphBuilder("DB14-MPCE", seed)
+    rng = builder.rng
+
+    n_artists = scaled(5500, scale, minimum=30)
+    n_bands = scaled(2200, scale, minimum=12)
+    n_songs = scaled(11000, scale, minimum=60)
+    n_settlements = scaled(7500, scale, minimum=40)
+    n_persons = scaled(9500, scale, minimum=50)
+
+    artist_uris = entity_names("artist", n_artists)
+    band_uris = entity_names("band", n_bands)
+    song_uris = entity_names("song", n_songs)
+    settlement_uris = entity_names("city", n_settlements)
+    person_uris = entity_names("person", n_persons)
+
+    band_chooser = builder.zipf(band_uris, alpha=0.9)
+    artist_chooser = builder.zipf(artist_uris, alpha=0.9)
+    state_chooser = builder.zipf(_SETTLEMENT_STATES, alpha=0.7)
+
+    for index, artist in enumerate(artist_uris):
+        builder.add_type(artist, "MusicalArtist")
+        builder.add(artist, "name", f'"Artist {index}"')
+        if rng.random() < 0.5:
+            band = band_chooser.choice()
+            # Subproperty structure: associatedBand implies
+            # associatedMusicalArtist with the same subject and object.
+            builder.add(artist, "associatedBand", band)
+            builder.add(artist, "associatedMusicalArtist", band)
+        if rng.random() < 0.4:
+            builder.add(artist, "associatedMusicalArtist", artist_chooser.choice())
+        if rng.random() < 0.5:
+            builder.add(artist, "genre", builder.pick(
+                ("Rock", "Pop", "Jazz", "HipHop", "Classical", "Electronic")
+            ))
+
+    for index, band in enumerate(band_uris):
+        builder.add_type(band, "Band")
+        builder.add(band, "name", f'"Band {index}"')
+        builder.add(band, "hometown", builder.pick(settlement_uris))
+
+    # The AC/DC example: 26 songs written by both Youngs and nothing else.
+    acdc_songs = song_uris[:26]
+    for song in acdc_songs:
+        builder.add(song, "writer", "Angus_Young")
+        builder.add(song, "writer", "Malcolm_Young")
+    writer_chooser = builder.zipf(artist_uris, alpha=1.0)
+    for index, song in enumerate(song_uris):
+        builder.add_type(song, "Song")
+        builder.add(song, "title", f'"Song {index}"')
+        builder.add(song, "musicalArtist", artist_chooser.choice())
+        if song not in acdc_songs and rng.random() < 0.6:
+            builder.add(song, "writer", writer_chooser.choice())
+        if rng.random() < 0.4:
+            builder.add(song, "releaseDate", f'"{rng.randint(1950, 2014)}"')
+
+    # Settlements: area code 559 is planted entirely inside California.
+    for index, settlement in enumerate(settlement_uris):
+        builder.add_type(settlement, "Settlement")
+        builder.add(settlement, "name", f'"City {index}"')
+        if index < 98:
+            builder.add(settlement, "areaCode", '"559"')
+            builder.add(settlement, "partOf", "California")
+        else:
+            code = rng.randint(200, 989)
+            if code == 559:  # 559 is planted as California-exclusive
+                code = 560
+            builder.add(settlement, "areaCode", f'"{code}"')
+            builder.add(settlement, "partOf", state_chooser.choice())
+        if rng.random() < 0.6:
+            builder.add(settlement, "populationTotal", f'"{rng.randint(500, 4_000_000)}"')
+
+    # Persons with a planted class hierarchy plus biographic predicates.
+    for index, person in enumerate(person_uris):
+        builder.add_type(person, "Person")
+        builder.add(person, "name", f'"Person {index}"')
+        builder.add(person, "birthPlace", builder.pick(settlement_uris))
+        if rng.random() < 0.35:
+            builder.add(person, "deathPlace", builder.pick(settlement_uris))
+        if rng.random() < 0.3:
+            builder.add(person, "occupation", builder.pick(
+                ("Actor", "Writer", "Musician", "Politician", "Scientist")
+            ))
+
+    # Animals and other typed entities realizing subclass CINDs.
+    for sub, parent in _CLASS_HIERARCHY:
+        for index in range(scaled(220, scale, minimum=5)):
+            entity = f"{sub.lower()}/{index}"
+            builder.add_type(entity, sub)
+            builder.add_type(entity, parent)
+            builder.add(entity, "name", f'"{sub} {index}"')
+
+    return builder.build()
+
+
+def db14_ple(scale: float = 1.0, seed: int = 707) -> Dataset:
+    """Generate DB14-PLE (~180k triples at scale 1; paper: 152.9M).
+
+    Person-centric, literal-heavy: most conditions hold for exactly one
+    triple, exercising the pruning machinery on the deepest long tail.
+    """
+    builder = GraphBuilder("DB14-PLE", seed)
+    rng = builder.rng
+
+    n_persons = scaled(21500, scale, minimum=60)
+    person_uris = entity_names("person", n_persons)
+    occupations = entity_names("occupation", 60)
+    occupation_chooser = builder.zipf(occupations, alpha=0.9)
+
+    for index, person in enumerate(person_uris):
+        builder.add_type(person, "Person")
+        builder.add(person, "name", f'"Person Name {index}"')
+        builder.add(person, "birthDate", f'"{rng.randint(1850, 2005)}-0{rng.randint(1, 9)}-{rng.randint(10, 28)}"')
+        builder.add(person, "birthYear", f'"{rng.randint(1850, 2005)}"')
+        builder.add(person, "occupation", occupation_chooser.choice())
+        if rng.random() < 0.55:
+            builder.add(person, "deathDate", f'"{rng.randint(1900, 2014)}-0{rng.randint(1, 9)}-{rng.randint(10, 28)}"')
+        if rng.random() < 0.7:
+            builder.add(person, "givenName", f'"Given{index}"')
+        if rng.random() < 0.7:
+            builder.add(person, "surname", f'"Surname{index % 2000}"')
+        if rng.random() < 0.5:
+            builder.add(person, "description", f'"a notable person number {index}"')
+        if rng.random() < 0.4:
+            builder.add(person, "alias", f'"aka {index}"')
+        if rng.random() < 0.3:
+            builder.add(person, "weight", f'"{rng.randint(45, 120)}"')
+        if rng.random() < 0.3:
+            builder.add(person, "height", f'"{rng.randint(140, 210)}"')
+
+    return builder.build()

@@ -1,0 +1,91 @@
+"""Diseasome: diseases, genes, and their associations (~72k triples).
+
+Mirrors the FU Berlin Diseasome dataset the paper profiles most heavily
+(Figure 2's search-space funnel uses it).  Planted structure:
+
+* a two-level disease-class hierarchy: every disease typed with a
+  *subclass* is also typed with its parent class, so subclass CINDs like
+  the paper's ``Leptodactylidae ⊆ Frog`` emerge
+  (``(s, p=rdf:type ∧ o=<sub>) ⊆ (s, p=rdf:type ∧ o=<parent>)``);
+* class-specific object vocabularies, so that ``o=<value> → p=<pred>``
+  association rules appear naturally;
+* unique names/ids per entity, producing the frequency-1 condition bulk
+  of Figure 4.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.synth import GraphBuilder, entity_names, scaled
+from repro.rdf.model import Dataset
+
+#: Top-level disease classes and how many subclasses each has.
+DISEASE_CLASSES = (
+    ("Cancer", 6),
+    ("Neurological", 4),
+    ("Cardiovascular", 4),
+    ("Metabolic", 3),
+    ("Immunological", 3),
+    ("Ophthalmological", 2),
+    ("Dermatological", 2),
+    ("Skeletal", 2),
+)
+
+CHROMOSOMES = tuple(f"chr{label}" for label in list(range(1, 23)) + ["X", "Y"])
+
+
+def diseasome(scale: float = 1.0, seed: int = 202) -> Dataset:
+    """Generate the Diseasome dataset (paper size ≈ 72,445 triples at scale 1)."""
+    builder = GraphBuilder("Diseasome", seed)
+    rng = builder.rng
+
+    n_diseases = scaled(4850, scale, minimum=20)
+    n_genes = scaled(4150, scale, minimum=20)
+    disease_uris = entity_names("disease", n_diseases)
+    gene_uris = entity_names("gene", n_genes)
+
+    subclass_parent = {}
+    for parent, sub_count in DISEASE_CLASSES:
+        for index in range(sub_count):
+            subclass_parent[f"{parent}Subtype{index}"] = parent
+    subclasses = sorted(subclass_parent)
+    subclass_chooser = builder.zipf(subclasses, alpha=0.7)
+
+    gene_chooser = builder.zipf(gene_uris, alpha=0.85)
+    location_chooser = builder.zipf(CHROMOSOMES, alpha=0.5)
+    drug_pool = entity_names("possibleDrug", max(10, n_diseases // 6))
+    drug_chooser = builder.zipf(drug_pool, alpha=0.9)
+
+    for index, disease in enumerate(disease_uris):
+        subclass = subclass_chooser.choice()
+        builder.add_type(disease, "Disease")
+        builder.add_type(disease, subclass)
+        builder.add_type(disease, subclass_parent[subclass])
+        builder.add(disease, "name", f'"Disease {index}"')
+        builder.add(disease, "omimId", f'"{100000 + index}"')
+        builder.add(disease, "sizeDegree", f'"{rng.randint(1, 40)}"')
+        builder.add(disease, "diseaseClass", subclass_parent[subclass])
+        for gene in {gene_chooser.choice() for _ in range(rng.randint(1, 5))}:
+            builder.add(disease, "associatedGene", gene)
+        for drug in {drug_chooser.choice() for _ in range(rng.randint(0, 2))}:
+            builder.add(disease, "possibleDrug", drug)
+
+    for index, gene in enumerate(gene_uris):
+        builder.add_type(gene, "Gene")
+        builder.add(gene, "label", f'"Gene {index}"')
+        builder.add(gene, "geneSymbol", f'"SYM{index}"')
+        builder.add(gene, "chromosomalLocation", location_chooser.choice())
+        if rng.random() < 0.4:
+            builder.add(gene, "degree", f'"{rng.randint(1, 25)}"')
+
+    # Subtype-of links among diseases sharing a subclass: small-support
+    # structure for the low-h experiments.
+    by_subclass = {}
+    for index, disease in enumerate(disease_uris):
+        if rng.random() < 0.15:
+            subclass = subclasses[index % len(subclasses)]
+            by_subclass.setdefault(subclass, []).append(disease)
+    for members in by_subclass.values():
+        for child in members[1:]:
+            builder.add(child, "diseaseSubtypeOf", members[0])
+
+    return builder.build()

@@ -1,0 +1,91 @@
+"""DrugBank: drugs, targets, and interactions.
+
+The paper profiles the full 517k-triple DrugBank dump; the generator's
+default ``scale=1.0`` produces ~1/6 of that (documented scale factor, see
+DESIGN.md) so the whole benchmark harness stays laptop-sized.  Planted
+structure:
+
+* the paper's knowledge-discovery example — everything targeted by
+  ``drug/30`` is also targeted by ``drug/47``
+  (``(o, s=drug/30 ∧ p=target) ⊆ (o, s=drug/47 ∧ p=target)``, support 14);
+* classification-function literals with a planted hierarchy: everything
+  classified ``"hydrolase activity"`` is also classified
+  ``"catalytic activity"`` (the paper's ontology-engineering hint);
+* per-category brand-name vocabularies and unique CAS numbers for the
+  long tail.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.synth import GraphBuilder, entity_names, scaled
+from repro.rdf.model import Dataset
+
+DRUG_CATEGORIES = (
+    "SmallMolecule",
+    "Biotech",
+    "Approved",
+    "Experimental",
+    "Nutraceutical",
+    "Illicit",
+    "Withdrawn",
+)
+
+CLASSIFICATION_PAIRS = (
+    ('"hydrolase activity"', '"catalytic activity"'),
+    ('"kinase activity"', '"catalytic activity"'),
+    ('"dna binding"', '"binding"'),
+    ('"protein binding"', '"binding"'),
+)
+
+
+def drugbank(scale: float = 1.0, seed: int = 404) -> Dataset:
+    """Generate the DrugBank dataset (~85k triples at scale 1; paper: 517k)."""
+    builder = GraphBuilder("DrugBank", seed)
+    rng = builder.rng
+
+    n_drugs = scaled(3600, scale, minimum=60)
+    n_targets = scaled(6500, scale, minimum=40)
+    drug_uris = entity_names("drug", n_drugs)
+    target_uris = entity_names("target", n_targets)
+    target_chooser = builder.zipf(target_uris, alpha=0.8)
+    category_chooser = builder.zipf(DRUG_CATEGORIES, alpha=0.6)
+
+    for index, drug in enumerate(drug_uris):
+        builder.add_type(drug, "Drug")
+        builder.add_type(drug, category_chooser.choice())
+        builder.add(drug, "name", f'"Drug {index}"')
+        builder.add(drug, "casNumber", f'"{index:05d}-{index % 83:02d}-{index % 7}"')
+        builder.add(drug, "state", '"solid"' if rng.random() < 0.7 else '"liquid"')
+        if rng.random() < 0.6:
+            builder.add(drug, "halfLife", f'"{rng.randint(1, 96)} hours"')
+        if index not in (30 % n_drugs, 47 % n_drugs):
+            # the two special drugs get only the planted target sets below
+            for target in {target_chooser.choice() for _ in range(rng.randint(1, 6))}:
+                builder.add(drug, "target", target)
+        for other_index in builder.pick_some(range(n_drugs), 0, 8):
+            if other_index != index:
+                builder.add(drug, "interactsWith", drug_uris[other_index])
+        for brand in range(rng.randint(0, 3)):
+            builder.add(drug, "brandName", f'"Brand {index}-{brand}"')
+
+    for index, target in enumerate(target_uris):
+        builder.add_type(target, "Target")
+        builder.add(target, "name", f'"Target {index}"')
+        builder.add(target, "geneName", f'"GENE{index}"')
+        specific, general = CLASSIFICATION_PAIRS[index % len(CLASSIFICATION_PAIRS)]
+        builder.add(target, "classificationFunction", specific)
+        builder.add(target, "classificationFunction", general)
+        if rng.random() < 0.5:
+            builder.add(target, "cellularLocation", builder.pick(
+                ('"membrane"', '"cytoplasm"', '"nucleus"', '"extracellular"')
+            ))
+
+    # The paper's drug/30 ⊆ drug/47 target-set example (support 14).
+    special_targets = target_uris[:14]
+    for target in special_targets:
+        builder.add(drug_uris[30 % n_drugs], "target", target)
+        builder.add(drug_uris[47 % n_drugs], "target", target)
+    for target in target_uris[14:20]:
+        builder.add(drug_uris[47 % n_drugs], "target", target)
+
+    return builder.build()

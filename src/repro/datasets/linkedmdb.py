@@ -1,0 +1,73 @@
+"""LinkedMDB: the movie dataset (scaled stand-in).
+
+The paper's LinkedMDB dump has 6.1M triples; the default scale here
+produces ~1/50 of that with the same structure (scale factor recorded in
+the registry).  Planted structure, mirroring the paper's Appendix B:
+
+* *performance* resources dominate: every subject with
+  ``o=lmdb:performance`` as object has ``p=rdf:type``, producing the
+  paper's flagship AR ``o=lmdb:performance → p=rdf:type``
+  (support 197,271 at full size; proportionally scaled here);
+* ``movieEditor`` range: every object of ``movieEditor`` is typed
+  ``foaf:Person`` (the paper's range-discovery CIND);
+* directors/actors/editors are all persons, giving predicate-hierarchy
+  style inclusions.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.synth import GraphBuilder, entity_names, scaled
+from repro.rdf.model import Dataset
+
+GENRES = (
+    "Drama", "Comedy", "Action", "Thriller", "Horror", "Romance",
+    "Documentary", "Animation", "ScienceFiction", "Western",
+)
+
+COUNTRY_CODES = ("US", "GB", "FR", "DE", "IT", "JP", "IN", "CA", "ES", "KR")
+
+
+def linkedmdb(scale: float = 1.0, seed: int = 505) -> Dataset:
+    """Generate the LinkedMDB dataset (~120k triples at scale 1; paper: 6.1M)."""
+    builder = GraphBuilder("LinkedMDB", seed)
+    rng = builder.rng
+
+    n_movies = scaled(8000, scale, minimum=50)
+    n_persons = scaled(6000, scale, minimum=40)
+    movie_uris = entity_names("film", n_movies)
+    person_uris = entity_names("person", n_persons)
+
+    actor_chooser = builder.zipf(person_uris, alpha=0.9)
+    genre_chooser = builder.zipf(GENRES, alpha=0.8)
+    country_chooser = builder.zipf(COUNTRY_CODES, alpha=0.9)
+
+    directors = person_uris[: max(10, n_persons // 10)]
+    editors = person_uris[max(10, n_persons // 10) : max(20, n_persons // 5)]
+
+    for index, person in enumerate(person_uris):
+        builder.add_type(person, "foaf:Person")
+        builder.add(person, "name", f'"Person {index}"')
+
+    performance_counter = 0
+    for index, movie in enumerate(movie_uris):
+        builder.add_type(movie, "lmdb:film")
+        builder.add(movie, "title", f'"Film {index}"')
+        builder.add(movie, "date", f'"{rng.randint(1930, 2015)}"')
+        builder.add(movie, "genre", genre_chooser.choice())
+        builder.add(movie, "country", country_chooser.choice())
+        builder.add(movie, "director", builder.pick(directors))
+        if rng.random() < 0.6:
+            builder.add(movie, "movieEditor", builder.pick(editors))
+        if rng.random() < 0.3:
+            builder.add(movie, "runtime", f'"{rng.randint(60, 240)}"')
+
+        # Performances: the dominant resource type of LinkedMDB.  Each is
+        # typed lmdb:performance and links an actor to the film.
+        for _ in range(rng.randint(2, 5)):
+            performance = f"performance/{performance_counter}"
+            performance_counter += 1
+            builder.add_type(performance, "lmdb:performance")
+            builder.add(performance, "performance_actor", actor_chooser.choice())
+            builder.add(performance, "performance_film", movie)
+
+    return builder.build()

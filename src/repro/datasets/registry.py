@@ -1,0 +1,89 @@
+"""The evaluation dataset registry (paper Table 2).
+
+Maps each of the paper's datasets to its generator, the size the paper
+reports, and the scale this reproduction generates by default.  The
+benchmark harness prints this table (``bench_table2_datasets``) next to
+the actually generated triple counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.datasets.countries import countries
+from repro.datasets.dbpedia import db14_mpce, db14_ple
+from repro.datasets.diseasome import diseasome
+from repro.datasets.drugbank import drugbank
+from repro.datasets.freebase import freebase
+from repro.datasets.linkedmdb import linkedmdb
+from repro.datasets.lubm import lubm
+from repro.rdf.model import Dataset
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One Table 2 row: the paper's numbers and our generator."""
+
+    name: str
+    paper_size_mb: float
+    paper_triples: int
+    loader: Callable[..., Dataset]
+    note: str = ""
+
+    def load(self, scale: float = 1.0, **kwargs) -> Dataset:
+        """Generate the dataset at ``scale`` (1.0 = this repo's default)."""
+        return self.loader(scale=scale, **kwargs)
+
+
+def _load_lubm(scale: float = 1.0, **kwargs) -> Dataset:
+    return lubm(universities=1, scale=scale, **kwargs)
+
+
+def _load_freebase(scale: float = 1.0, **kwargs) -> Dataset:
+    return freebase(n_triples=int(200_000 * scale), **kwargs)
+
+
+#: Table 2 of the paper, in its order.
+DATASETS: Dict[str, DatasetSpec] = {
+    "Countries": DatasetSpec(
+        "Countries", 0.8, 5_563, countries, note="full paper size"
+    ),
+    "Diseasome": DatasetSpec(
+        "Diseasome", 13, 72_445, diseasome, note="full paper size"
+    ),
+    "LUBM-1": DatasetSpec(
+        "LUBM-1", 17, 103_104, _load_lubm, note="full paper size"
+    ),
+    "DrugBank": DatasetSpec(
+        "DrugBank", 102, 517_023, drugbank, note="~1/6 of paper size"
+    ),
+    "LinkedMDB": DatasetSpec(
+        "LinkedMDB", 870, 6_148_121, linkedmdb, note="~1/50 of paper size"
+    ),
+    "DB14-MPCE": DatasetSpec(
+        "DB14-MPCE", 4_334, 33_329_233, db14_mpce, note="~1/220 of paper size"
+    ),
+    "DB14-PLE": DatasetSpec(
+        "DB14-PLE", 21_770, 152_913_360, db14_ple, note="~1/850 of paper size"
+    ),
+    "Freebase": DatasetSpec(
+        "Freebase", 398_100, 3_000_673_968, _load_freebase,
+        note="sized via n_triples; scaling experiment",
+    ),
+}
+
+
+def get_dataset(name: str) -> DatasetSpec:
+    """Look up a Table 2 dataset by (case-insensitive) name."""
+    for key, spec in DATASETS.items():
+        if key.lower() == name.lower():
+            return spec
+    raise KeyError(
+        f"unknown dataset {name!r}; available: {', '.join(DATASETS)}"
+    )
+
+
+def load(name: str, scale: float = 1.0, **kwargs) -> Dataset:
+    """Generate a Table 2 dataset by name."""
+    return get_dataset(name).load(scale=scale, **kwargs)

@@ -1,0 +1,26 @@
+"""The paper's running example: the university dataset of Table 1."""
+
+from __future__ import annotations
+
+from repro.rdf.model import Dataset, Triple
+
+#: The example triples exactly as printed in Table 1 of the paper.
+TABLE1_TRIPLES = (
+    ("patrick", "rdf:type", "gradStudent"),
+    ("mike", "rdf:type", "gradStudent"),
+    ("john", "rdf:type", "professor"),
+    ("patrick", "memberOf", "csd"),
+    ("mike", "memberOf", "biod"),
+    ("patrick", "undergradFrom", "hpi"),
+    ("tim", "undergradFrom", "hpi"),
+    ("mike", "undergradFrom", "cmu"),
+)
+
+
+def table1() -> Dataset:
+    """The 8-triple university example (paper Table 1).
+
+    Satisfies, among others, the paper's Example 3 CIND
+    ``(s, p=rdf:type ∧ o=gradStudent) ⊆ (s, p=undergradFrom)``.
+    """
+    return Dataset((Triple(*row) for row in TABLE1_TRIPLES), name="Table1")

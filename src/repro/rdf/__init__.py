@@ -1,0 +1,52 @@
+"""RDF substrate: data model, N-Triples I/O, namespaces, and a triple store.
+
+This subpackage provides everything RDFind needs to consume RDF data:
+
+* :mod:`repro.rdf.model` — terms, triples, datasets, and the integer term
+  dictionary that the discovery pipeline operates on.
+* :mod:`repro.rdf.ntriples` — a line-based N-Triples parser and serializer.
+* :mod:`repro.rdf.namespaces` — common vocabularies and CURIE helpers.
+* :mod:`repro.rdf.store` — an indexed in-memory triple store with
+  triple-pattern matching, used by the SPARQL use case.
+* :mod:`repro.rdf.turtle` — a reader for the Turtle subset real dumps use.
+"""
+
+from repro.rdf.model import (
+    Attr,
+    Dataset,
+    EncodedDataset,
+    TermDictionary,
+    Triple,
+)
+from repro.rdf.namespaces import NamespaceManager, RDF, RDFS, FOAF, XSD
+from repro.rdf.ntriples import (
+    NTriplesParseError,
+    parse_ntriples,
+    parse_ntriples_file,
+    serialize_ntriples,
+    write_ntriples_file,
+)
+from repro.rdf.store import TripleStore
+from repro.rdf.turtle import TurtleParseError, parse_turtle, parse_turtle_file
+
+__all__ = [
+    "Attr",
+    "Dataset",
+    "EncodedDataset",
+    "TermDictionary",
+    "Triple",
+    "NamespaceManager",
+    "RDF",
+    "RDFS",
+    "FOAF",
+    "XSD",
+    "NTriplesParseError",
+    "parse_ntriples",
+    "parse_ntriples_file",
+    "serialize_ntriples",
+    "write_ntriples_file",
+    "TripleStore",
+    "TurtleParseError",
+    "parse_turtle",
+    "parse_turtle_file",
+]

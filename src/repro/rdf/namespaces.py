@@ -1,0 +1,91 @@
+"""Common RDF namespaces and CURIE handling.
+
+The synthetic dataset generators and the examples render terms either as
+full URIs (for N-Triples output) or as compact CURIEs (for human-readable
+reports, matching the paper's ``rdf:type``-style notation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+
+class Namespace:
+    """A URI prefix that mints terms via attribute or item access.
+
+    >>> ex = Namespace("http://example.org/")
+    >>> ex.thing
+    'http://example.org/thing'
+    >>> ex["other thing"]
+    'http://example.org/other thing'
+    """
+
+    __slots__ = ("uri",)
+
+    def __init__(self, uri: str) -> None:
+        self.uri = uri
+
+    def __getattr__(self, local: str) -> str:
+        if local.startswith("__"):
+            raise AttributeError(local)
+        return self.uri + local
+
+    def __getitem__(self, local: str) -> str:
+        return self.uri + local
+
+    def __contains__(self, term: str) -> bool:
+        return isinstance(term, str) and term.startswith(self.uri)
+
+    def __repr__(self) -> str:
+        return f"Namespace({self.uri!r})"
+
+
+RDF = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+RDFS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+OWL = Namespace("http://www.w3.org/2002/07/owl#")
+XSD = Namespace("http://www.w3.org/2001/XMLSchema#")
+FOAF = Namespace("http://xmlns.com/foaf/0.1/")
+
+#: Prefixes that every :class:`NamespaceManager` knows out of the box.
+WELL_KNOWN_PREFIXES: Dict[str, str] = {
+    "rdf": RDF.uri,
+    "rdfs": RDFS.uri,
+    "owl": OWL.uri,
+    "xsd": XSD.uri,
+    "foaf": FOAF.uri,
+}
+
+
+class NamespaceManager:
+    """Registry of prefix -> namespace URI mappings with CURIE helpers."""
+
+    def __init__(self, extra: Optional[Dict[str, str]] = None) -> None:
+        self._prefixes: Dict[str, str] = dict(WELL_KNOWN_PREFIXES)
+        if extra:
+            for prefix, uri in extra.items():
+                self.bind(prefix, uri)
+
+    def bind(self, prefix: str, uri: str) -> None:
+        """Register ``prefix`` for ``uri`` (overwrites an existing binding)."""
+        self._prefixes[prefix] = uri
+
+    def __iter__(self) -> Iterator[Tuple[str, str]]:
+        return iter(self._prefixes.items())
+
+    def expand(self, curie: str) -> str:
+        """Expand a ``prefix:local`` CURIE; return the input if unknown."""
+        prefix, sep, local = curie.partition(":")
+        if sep and prefix in self._prefixes:
+            return self._prefixes[prefix] + local
+        return curie
+
+    def compact(self, uri: str) -> str:
+        """Compact a URI to a CURIE using the longest matching namespace."""
+        best_prefix = None
+        best_len = -1
+        for prefix, ns_uri in self._prefixes.items():
+            if uri.startswith(ns_uri) and len(ns_uri) > best_len:
+                best_prefix, best_len = prefix, len(ns_uri)
+        if best_prefix is None:
+            return uri
+        return f"{best_prefix}:{uri[best_len:]}"

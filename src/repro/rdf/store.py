@@ -1,0 +1,152 @@
+"""Indexed in-memory triple store with triple-pattern matching.
+
+The SPARQL query-minimization use case (Appendix B / Figure 14 of the
+paper) needs a substrate that can answer basic graph patterns.  This store
+keeps three hash indexes (by subject, predicate, and object) plus the
+pairwise ``(p, o)`` and ``(p, s)`` indexes that condition evaluation and
+selective scans benefit from, and exposes a :meth:`match` primitive over
+``None``-wildcarded patterns.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.rdf.model import Dataset, Triple
+
+
+Pattern = Tuple[Optional[str], Optional[str], Optional[str]]
+
+
+class TripleStore:
+    """An in-memory triple store supporting pattern matching.
+
+    Lookup strategy: the most selective available index for the bound
+    positions of the pattern is used; fully unbound patterns scan.
+    """
+
+    def __init__(self, triples: Iterable[Triple] = ()) -> None:
+        self._triples: Set[Triple] = set()
+        self._by_s: Dict[str, Set[Triple]] = defaultdict(set)
+        self._by_p: Dict[str, Set[Triple]] = defaultdict(set)
+        self._by_o: Dict[str, Set[Triple]] = defaultdict(set)
+        self._by_po: Dict[Tuple[str, str], Set[Triple]] = defaultdict(set)
+        self._by_sp: Dict[Tuple[str, str], Set[Triple]] = defaultdict(set)
+        self.add_all(triples)
+
+    @classmethod
+    def from_dataset(cls, dataset: Dataset) -> "TripleStore":
+        """Index all triples of ``dataset``."""
+        return cls(dataset)
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __contains__(self, triple: Triple) -> bool:
+        return triple in self._triples
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self._triples)
+
+    def add(self, triple: Triple) -> bool:
+        """Insert a triple; returns True if it was new."""
+        if not isinstance(triple, Triple):
+            triple = Triple(*triple)
+        if triple in self._triples:
+            return False
+        self._triples.add(triple)
+        self._by_s[triple.s].add(triple)
+        self._by_p[triple.p].add(triple)
+        self._by_o[triple.o].add(triple)
+        self._by_po[(triple.p, triple.o)].add(triple)
+        self._by_sp[(triple.s, triple.p)].add(triple)
+        return True
+
+    def add_all(self, triples: Iterable[Triple]) -> int:
+        """Insert many triples; returns the number that were new."""
+        return sum(1 for t in triples if self.add(t))
+
+    def remove(self, triple: Triple) -> bool:
+        """Remove a triple; returns True if it was present."""
+        if triple not in self._triples:
+            return False
+        self._triples.discard(triple)
+        for index, key in (
+            (self._by_s, triple.s),
+            (self._by_p, triple.p),
+            (self._by_o, triple.o),
+            (self._by_po, (triple.p, triple.o)),
+            (self._by_sp, (triple.s, triple.p)),
+        ):
+            bucket = index[key]
+            bucket.discard(triple)
+            if not bucket:
+                del index[key]  # keep vocabulary views exact
+        return True
+
+    def match(
+        self,
+        s: Optional[str] = None,
+        p: Optional[str] = None,
+        o: Optional[str] = None,
+    ) -> Iterator[Triple]:
+        """Yield triples matching the pattern (None = wildcard)."""
+        candidates = self._candidates(s, p, o)
+        for triple in candidates:
+            if s is not None and triple.s != s:
+                continue
+            if p is not None and triple.p != p:
+                continue
+            if o is not None and triple.o != o:
+                continue
+            yield triple
+
+    def count(
+        self,
+        s: Optional[str] = None,
+        p: Optional[str] = None,
+        o: Optional[str] = None,
+    ) -> int:
+        """Number of triples matching the pattern."""
+        return sum(1 for _ in self.match(s, p, o))
+
+    def cardinality_estimate(
+        self,
+        s: Optional[str] = None,
+        p: Optional[str] = None,
+        o: Optional[str] = None,
+    ) -> int:
+        """Cheap upper bound on the match count (index bucket size)."""
+        return len(self._candidates(s, p, o))
+
+    def _candidates(
+        self, s: Optional[str], p: Optional[str], o: Optional[str]
+    ) -> Iterable[Triple]:
+        if s is not None and p is not None:
+            return self._by_sp.get((s, p), ())
+        if p is not None and o is not None:
+            return self._by_po.get((p, o), ())
+        if s is not None:
+            return self._by_s.get(s, ())
+        if o is not None:
+            return self._by_o.get(o, ())
+        if p is not None:
+            return self._by_p.get(p, ())
+        return self._triples
+
+    def subjects(self) -> Set[str]:
+        """Distinct subjects."""
+        return set(self._by_s)
+
+    def predicates(self) -> Set[str]:
+        """Distinct predicates."""
+        return set(self._by_p)
+
+    def objects(self) -> Set[str]:
+        """Distinct objects."""
+        return set(self._by_o)
+
+    def to_dataset(self, name: str = "") -> Dataset:
+        """Materialize the store contents as a :class:`Dataset`."""
+        return Dataset(sorted(self._triples), name=name)

@@ -1,0 +1,38 @@
+"""A miniature SPARQL BGP engine and the CIND-based query minimizer.
+
+The paper's flagship use case (Section 1, Appendix B, Figure 14) is
+SPARQL query minimization: a CIND can prove a query triple pattern
+redundant, and removing it removes a join.  This package provides the
+substrate to demonstrate that end to end:
+
+* :mod:`repro.sparql.algebra` — variables, triple patterns, and
+  basic-graph-pattern (BGP) queries;
+* :mod:`repro.sparql.executor` — hash-join evaluation over a
+  :class:`~repro.rdf.store.TripleStore`, with join/probe accounting;
+* :mod:`repro.sparql.minimizer` — the CIND-driven removal of redundant
+  patterns;
+* :mod:`repro.sparql.lubm_queries` — LUBM query Q2 (and Q1) as used in
+  the paper's Figure 14 experiment;
+* :mod:`repro.sparql.parser` — a text parser for the supported SELECT
+  subset, so queries can be written as strings.
+"""
+
+from repro.sparql.algebra import BGPQuery, TriplePattern, Var
+from repro.sparql.executor import EvaluationStats, evaluate
+from repro.sparql.minimizer import MinimizationReport, QueryMinimizer
+from repro.sparql.lubm_queries import lubm_q1, lubm_q2
+from repro.sparql.parser import SparqlSyntaxError, parse_query
+
+__all__ = [
+    "BGPQuery",
+    "TriplePattern",
+    "Var",
+    "EvaluationStats",
+    "evaluate",
+    "MinimizationReport",
+    "QueryMinimizer",
+    "lubm_q1",
+    "lubm_q2",
+    "SparqlSyntaxError",
+    "parse_query",
+]

@@ -1,0 +1,134 @@
+"""SPARQL algebra: variables, triple patterns, and BGP queries."""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, NamedTuple, Optional, Sequence, Tuple, Union
+
+from repro.rdf.model import Attr, Triple
+
+
+class Var(NamedTuple):
+    """A SPARQL variable, e.g. ``Var("s")`` renders as ``?s``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"?{self.name}"
+
+
+#: A pattern term: a variable or a constant RDF term.
+Term = Union[Var, str]
+
+
+class TriplePattern(NamedTuple):
+    """One query triple: each position is a variable or a constant."""
+
+    s: Term
+    p: Term
+    o: Term
+
+    def get(self, attr: Attr) -> Term:
+        """Project the pattern onto a triple attribute."""
+        return self[int(attr)]
+
+    def variables(self) -> FrozenSet[Var]:
+        """The variables this pattern binds."""
+        return frozenset(term for term in self if isinstance(term, Var))
+
+    def constants(self) -> Dict[Attr, str]:
+        """Constant positions and their values."""
+        return {
+            attr: term
+            for attr, term in zip((Attr.S, Attr.P, Attr.O), self)
+            if not isinstance(term, Var)
+        }
+
+    def matches(self, triple: Triple) -> bool:
+        """True if the triple satisfies all constant positions."""
+        return all(
+            isinstance(term, Var) or term == value
+            for term, value in zip(self, triple)
+        )
+
+    def bind(self, triple: Triple) -> Optional[Dict[Var, str]]:
+        """Bindings produced by matching ``triple``; None on mismatch.
+
+        Repeated variables must bind consistently (e.g. ``?x p ?x``).
+        """
+        bindings: Dict[Var, str] = {}
+        for term, value in zip(self, triple):
+            if isinstance(term, Var):
+                bound = bindings.get(term)
+                if bound is None:
+                    bindings[term] = value
+                elif bound != value:
+                    return None
+            elif term != value:
+                return None
+        return bindings
+
+    def __str__(self) -> str:
+        return " ".join(str(term) for term in self) + " ."
+
+
+class BGPQuery:
+    """A SELECT query over one basic graph pattern.
+
+    >>> q = BGPQuery([Var("d")], [TriplePattern(Var("s"), "memberOf", Var("d"))])
+    """
+
+    def __init__(
+        self,
+        projection: Sequence[Var],
+        patterns: Sequence[TriplePattern],
+        name: str = "",
+    ) -> None:
+        if not patterns:
+            raise ValueError("a BGP query needs at least one triple pattern")
+        self.projection: Tuple[Var, ...] = tuple(projection)
+        self.patterns: Tuple[TriplePattern, ...] = tuple(patterns)
+        self.name = name
+        pattern_vars = self.variables()
+        missing = [var for var in self.projection if var not in pattern_vars]
+        if missing:
+            raise ValueError(f"projected variables not bound by any pattern: {missing}")
+
+    def variables(self) -> FrozenSet[Var]:
+        """All variables used in the BGP."""
+        out: set = set()
+        for pattern in self.patterns:
+            out |= pattern.variables()
+        return frozenset(out)
+
+    def without_pattern(self, index: int) -> "BGPQuery":
+        """A copy with pattern ``index`` removed."""
+        remaining = [
+            pattern for position, pattern in enumerate(self.patterns)
+            if position != index
+        ]
+        return BGPQuery(self.projection, remaining, name=self.name)
+
+    @property
+    def join_count(self) -> int:
+        """Number of joins a linear plan performs (#patterns - 1)."""
+        return len(self.patterns) - 1
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BGPQuery):
+            return NotImplemented
+        return (
+            self.projection == other.projection
+            and set(self.patterns) == set(other.patterns)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - queries are not hashed
+        raise TypeError("BGPQuery is unhashable")
+
+    def __str__(self) -> str:
+        head = ", ".join(str(var) for var in self.projection)
+        body = " ".join(str(pattern) for pattern in self.patterns)
+        return f"SELECT {head} WHERE {{ {body} }}"
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return f"<BGPQuery{label}: {len(self.patterns)} patterns>"

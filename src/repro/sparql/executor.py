@@ -1,0 +1,113 @@
+"""BGP evaluation over a triple store.
+
+A straightforward but real engine: patterns are ordered by estimated
+selectivity, the first is scanned, and every further pattern is joined in
+via index lookups on its bound positions (an index-nested-loop join,
+which is what RDF-3X-style stores effectively do for these plans).  The
+returned :class:`EvaluationStats` counts pattern lookups and intermediate
+bindings, the quantities query minimization reduces (Figure 14's speedup
+is fewer joins, engine-independent)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.rdf.model import Attr
+from repro.rdf.store import TripleStore
+from repro.sparql.algebra import BGPQuery, TriplePattern, Var
+
+#: A result row maps projected variables to terms.
+Binding = Dict[Var, str]
+
+
+@dataclass
+class EvaluationStats:
+    """Work accounting for one query evaluation."""
+
+    patterns: int = 0
+    joins: int = 0
+    index_probes: int = 0
+    intermediate_bindings: int = 0
+    results: int = 0
+    elapsed_seconds: float = 0.0
+
+    def describe(self) -> str:
+        """One-line summary."""
+        return (
+            f"{self.patterns} patterns, {self.joins} joins, "
+            f"{self.index_probes} probes, {self.intermediate_bindings} "
+            f"intermediate bindings, {self.results} results, "
+            f"{self.elapsed_seconds * 1000:.2f} ms"
+        )
+
+
+def _estimate(store: TripleStore, pattern: TriplePattern) -> int:
+    """Upper bound on a pattern's matches using the store's indexes."""
+    constants = pattern.constants()
+    return store.cardinality_estimate(
+        s=constants.get(Attr.S),
+        p=constants.get(Attr.P),
+        o=constants.get(Attr.O),
+    )
+
+
+def _substitute(pattern: TriplePattern, binding: Binding) -> TriplePattern:
+    """Replace bound variables with their values."""
+    return TriplePattern(
+        *(
+            binding.get(term, term) if isinstance(term, Var) else term
+            for term in pattern
+        )
+    )
+
+
+def _match_pattern(
+    store: TripleStore, pattern: TriplePattern, stats: EvaluationStats
+) -> Iterator[Binding]:
+    """All bindings of a (possibly partially bound) pattern."""
+    constants = pattern.constants()
+    stats.index_probes += 1
+    for triple in store.match(
+        s=constants.get(Attr.S), p=constants.get(Attr.P), o=constants.get(Attr.O)
+    ):
+        binding = pattern.bind(triple)
+        if binding is not None:
+            yield binding
+
+
+def evaluate(
+    store: TripleStore, query: BGPQuery
+) -> Tuple[List[Tuple[str, ...]], EvaluationStats]:
+    """Evaluate a BGP query; returns projected rows plus statistics.
+
+    Rows are tuples aligned with ``query.projection``, deduplicated and
+    sorted for deterministic output (SELECT DISTINCT semantics).
+    """
+    stats = EvaluationStats(patterns=len(query.patterns), joins=query.join_count)
+    started = time.perf_counter()
+
+    # Order patterns by estimated selectivity, then join left to right.
+    ordered = sorted(query.patterns, key=lambda p: _estimate(store, p))
+    bindings: List[Binding] = [{}]
+    for pattern in ordered:
+        next_bindings: List[Binding] = []
+        for binding in bindings:
+            bound_pattern = _substitute(pattern, binding)
+            for new_binding in _match_pattern(store, bound_pattern, stats):
+                merged = dict(binding)
+                merged.update(new_binding)
+                next_bindings.append(merged)
+        bindings = next_bindings
+        stats.intermediate_bindings += len(bindings)
+        if not bindings:
+            break
+
+    rows: Set[Tuple[str, ...]] = {
+        tuple(binding[var] for var in query.projection) for binding in bindings
+    }
+    result = sorted(rows)
+    stats.results = len(result)
+    stats.elapsed_seconds = time.perf_counter() - started
+    return result, stats

@@ -1,0 +1,245 @@
+"""CIND-based SPARQL query minimization (Section 1, Appendix B).
+
+The rule, from the paper's introductory example: a query triple pattern
+``A`` is redundant if some other pattern ``B`` shares a variable with it
+and a known CIND guarantees that every value ``B`` produces for that
+variable also satisfies ``A``.  Concretely, with ``A`` binding the shared
+variable at position ``α_A`` and carrying constants ``φ_A``, and ``B``
+binding it at ``α_B`` with constants ``φ_B``, the CIND
+``(α_B, φ_B) ⊆ (α_A, φ_A)`` proves that dropping ``A`` cannot change the
+(DISTINCT) results — provided ``A`` contributes nothing else: its other
+variables, if any, must be neither projected nor used by other patterns.
+
+Inclusions are consulted from three sources: discovered pertinent CINDs,
+CINDs implied by discovered association rules, and trivial inclusions
+(same projection attribute, dependent condition implying the referenced
+one), which hold on every dataset.
+
+The minimizer works on *string-valued* captures; use
+:meth:`QueryMinimizer.from_discovery` to decode a discovery result's
+integer-encoded CINDs automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.cind import (
+    CIND,
+    AssociationRule,
+    Capture,
+    decode_capture,
+    decode_cind,
+    decode_condition,
+)
+from repro.core.conditions import (
+    BinaryCondition,
+    Condition,
+    UnaryCondition,
+    implies,
+)
+from repro.core.discovery import DiscoveryResult
+from repro.rdf.model import ALL_ATTRS, Attr, TermDictionary
+from repro.sparql.algebra import BGPQuery, TriplePattern, Var
+
+
+@dataclass
+class RemovedPattern:
+    """One minimization step: which pattern went and why."""
+
+    pattern: TriplePattern
+    supported_by: TriplePattern
+    inclusion: CIND
+
+    def describe(self) -> str:
+        """Human-readable justification."""
+        return (
+            f"removed [{self.pattern}] — guaranteed by [{self.supported_by}] "
+            f"via {_render_string_cind(self.inclusion)}"
+        )
+
+
+@dataclass
+class MinimizationReport:
+    """Outcome of minimizing one query."""
+
+    original: BGPQuery
+    minimized: BGPQuery
+    removed: List[RemovedPattern] = field(default_factory=list)
+
+    @property
+    def joins_saved(self) -> int:
+        """How many joins the rewrite eliminated."""
+        return len(self.removed)
+
+    def describe(self) -> str:
+        """Multi-line report."""
+        lines = [
+            f"original:  {self.original} ({self.original.join_count} joins)",
+            f"minimized: {self.minimized} ({self.minimized.join_count} joins)",
+        ]
+        lines.extend("  " + step.describe() for step in self.removed)
+        return "\n".join(lines)
+
+
+class QueryMinimizer:
+    """Removes query triple patterns proven redundant by CINDs."""
+
+    def __init__(
+        self,
+        cinds: Iterable[CIND] = (),
+        association_rules: Iterable[AssociationRule] = (),
+    ) -> None:
+        # AR equivalences: a binary condition embedding an AR selects the
+        # same triples as the rule's left-hand side alone, so RDFind
+        # reports CINDs in terms of the unary capture (equivalence
+        # pruning, Section 5.1).  Canonicalizing through this map lets
+        # query patterns like (s, p=rdf:type ∧ o=GraduateStudent) find
+        # their unary twin (s, o=GraduateStudent).
+        self._equivalences: Dict[Condition, Condition] = {}
+        for rule in association_rules:
+            self._equivalences.setdefault(rule.binary_condition, rule.lhs)
+
+        self._inclusions: Set[Tuple[Capture, Capture]] = set()
+        for cind in cinds:
+            self._inclusions.add(
+                (self._canonical(cind.dependent), self._canonical(cind.referenced))
+            )
+        for rule in association_rules:
+            for implied in rule.implied_cinds(set(ALL_ATTRS)):
+                self._inclusions.add(
+                    (
+                        self._canonical(implied.dependent),
+                        self._canonical(implied.referenced),
+                    )
+                )
+
+    def _canonical(self, capture: Capture) -> Capture:
+        """Rewrite an AR-equivalent binary capture to its unary form."""
+        replacement = self._equivalences.get(capture.condition)
+        if replacement is not None and replacement.attr != capture.attr:
+            return Capture(capture.attr, replacement)
+        return capture
+
+    @classmethod
+    def from_discovery(cls, result: DiscoveryResult) -> "QueryMinimizer":
+        """Build a minimizer from a discovery run (decodes term ids)."""
+        dictionary = result.dictionary
+        cinds = (decode_cind(sc.cind, dictionary) for sc in result.cinds)
+        rules = (
+            AssociationRule(
+                decode_condition(sa.rule.lhs, dictionary),
+                decode_condition(sa.rule.rhs, dictionary),
+            )
+            for sa in result.association_rules
+        )
+        return cls(cinds, rules)
+
+    def holds(self, dependent: Capture, referenced: Capture) -> bool:
+        """Is the inclusion known (discovered, AR-implied, or trivial)?"""
+        dependent = self._canonical(dependent)
+        referenced = self._canonical(referenced)
+        if (dependent, referenced) in self._inclusions:
+            return True
+        # Trivial inclusions hold on every dataset.
+        return dependent.attr == referenced.attr and implies(
+            dependent.condition, referenced.condition
+        )
+
+    # ------------------------------------------------------------------
+    # minimization
+    # ------------------------------------------------------------------
+
+    def minimize(self, query: BGPQuery) -> MinimizationReport:
+        """Iteratively remove redundant patterns until a fixpoint."""
+        current = query
+        removed: List[RemovedPattern] = []
+        progress = True
+        while progress and len(current.patterns) > 1:
+            progress = False
+            for index in range(len(current.patterns)):
+                justification = self._removable(current, query.projection, index)
+                if justification is not None:
+                    supporter, inclusion = justification
+                    removed.append(
+                        RemovedPattern(current.patterns[index], supporter, inclusion)
+                    )
+                    current = current.without_pattern(index)
+                    progress = True
+                    break
+        return MinimizationReport(original=query, minimized=current, removed=removed)
+
+    def _removable(
+        self, query: BGPQuery, projection: Sequence[Var], index: int
+    ) -> Optional[Tuple[TriplePattern, CIND]]:
+        """Justification for removing pattern ``index``, if any."""
+        target = query.patterns[index]
+        target_condition = _constants_condition(target)
+        if target_condition is None:
+            return None
+
+        others = [
+            pattern for position, pattern in enumerate(query.patterns)
+            if position != index
+        ]
+        used_elsewhere: Set[Var] = set(projection)
+        for pattern in others:
+            used_elsewhere |= pattern.variables()
+
+        target_vars = [
+            (attr, term)
+            for attr, term in zip(ALL_ATTRS, target)
+            if isinstance(term, Var)
+        ]
+        shared = [(attr, var) for attr, var in target_vars if var in used_elsewhere]
+        if len(shared) != 1:
+            # Zero shared variables: the pattern is an existence filter we
+            # cannot remove.  Two or more: a CIND covers only one position.
+            return None
+        target_attr, shared_var = shared[0]
+        if sum(1 for _attr, var in target_vars if var == shared_var) > 1:
+            return None  # repeated variable adds an equality constraint
+
+        referenced = Capture(target_attr, target_condition)
+        for supporter in others:
+            supporter_condition = _constants_condition(supporter)
+            if supporter_condition is None:
+                continue
+            for attr, term in zip(ALL_ATTRS, supporter):
+                if term != shared_var:
+                    continue
+                dependent = Capture(attr, supporter_condition)
+                if self.holds(dependent, referenced):
+                    return supporter, CIND(dependent, referenced)
+        return None
+
+
+def _constants_condition(pattern: TriplePattern) -> Optional[Condition]:
+    """The condition a pattern's constant positions form, if 1 or 2."""
+    constants = pattern.constants()
+    if len(constants) == 1:
+        ((attr, value),) = constants.items()
+        return UnaryCondition(attr, value)
+    if len(constants) == 2:
+        (attr1, value1), (attr2, value2) = sorted(constants.items())
+        return BinaryCondition(attr1, value1, attr2, value2)
+    return None
+
+
+def _render_string_cind(cind: CIND) -> str:
+    """Render a string-valued CIND without a dictionary."""
+
+    def render_condition(condition: Condition) -> str:
+        if isinstance(condition, UnaryCondition):
+            return f"{condition.attr.symbol}={condition.value}"
+        return (
+            f"{condition.attr1.symbol}={condition.value1} ∧ "
+            f"{condition.attr2.symbol}={condition.value2}"
+        )
+
+    dependent, referenced = cind
+    return (
+        f"({dependent.attr.symbol}, {render_condition(dependent.condition)}) ⊆ "
+        f"({referenced.attr.symbol}, {render_condition(referenced.condition)})"
+    )

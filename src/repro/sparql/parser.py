@@ -1,0 +1,203 @@
+"""A parser for the SPARQL subset the BGP engine evaluates.
+
+Grammar (a practical subset of SPARQL 1.1 SELECT):
+
+.. code-block:: text
+
+    query      := prologue? 'SELECT' ('DISTINCT')? projection 'WHERE'?
+                  '{' triples '}'
+    prologue   := ('PREFIX' PNAME ':' '<' IRI '>')*
+    projection := '*' | var+
+    triples    := pattern ('.' pattern)* '.'?
+    pattern    := term term term
+    term       := var | '<' IRI '>' | PNAME ':' local | literal | bare
+    literal    := '"' chars '"' ('@' lang | '^^' ('<' IRI '>' | PNAME))
+
+Variables are ``?name`` or ``$name``; bare tokens (e.g. ``rdf:type`` when
+the prefix is known, or plain words in the synthetic datasets) are kept
+verbatim, which matches how terms are stored throughout this library.
+The engine's queries use set (DISTINCT) semantics either way, so the
+DISTINCT keyword is accepted and ignored.
+
+>>> q = parse_query(\"\"\"
+...     PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+...     SELECT ?s WHERE { ?s rdf:type <http://ex/Person> . }
+... \"\"\")
+>>> str(q.projection[0])
+'?s'
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterator, List, NamedTuple, Optional, Tuple, Union
+
+from repro.sparql.algebra import BGPQuery, TriplePattern, Var
+
+
+class SparqlSyntaxError(ValueError):
+    """Raised on malformed query text, with position information."""
+
+    def __init__(self, message: str, position: int, text: str) -> None:
+        line = text.count("\n", 0, position) + 1
+        column = position - (text.rfind("\n", 0, position) + 1) + 1
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.position = position
+
+
+class _Token(NamedTuple):
+    kind: str
+    value: str
+    position: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+|\#[^\n]*)
+  | (?P<VAR>[?$][A-Za-z_][A-Za-z0-9_]*)
+  | (?P<IRI><[^<>\s]*>)
+  | (?P<LITERAL>"(?:[^"\\]|\\.)*"(?:@[A-Za-z][A-Za-z0-9-]*|\^\^(?:<[^<>\s]*>|[A-Za-z_][\w.-]*:[\w.-]*))?)
+  | (?P<LBRACE>\{)
+  | (?P<RBRACE>\})
+  | (?P<DOT>\.(?=\s|\}|$))
+  | (?P<STAR>\*)
+  | (?P<WORD>[^\s{}]+)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> Iterator[_Token]:
+    position = 0
+    length = len(text)
+    while position < length:
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise SparqlSyntaxError(
+                f"unexpected character {text[position]!r}", position, text
+            )
+        kind = match.lastgroup
+        if kind != "WS":
+            yield _Token(kind, match.group(), position)
+        position = match.end()
+    yield _Token("EOF", "", length)
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = list(_tokenize(text))
+        self.index = 0
+        self.prefixes: Dict[str, str] = {}
+
+    @property
+    def current(self) -> _Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> _Token:
+        token = self.current
+        self.index += 1
+        return token
+
+    def error(self, message: str) -> SparqlSyntaxError:
+        return SparqlSyntaxError(message, self.current.position, self.text)
+
+    def expect_word(self, keyword: str) -> None:
+        token = self.current
+        if token.kind != "WORD" or token.value.upper() != keyword:
+            raise self.error(f"expected {keyword}")
+        self.advance()
+
+    def word_is(self, keyword: str) -> bool:
+        token = self.current
+        return token.kind == "WORD" and token.value.upper() == keyword
+
+    # ------------------------------------------------------------------
+
+    def parse(self) -> BGPQuery:
+        self.parse_prologue()
+        self.expect_word("SELECT")
+        if self.word_is("DISTINCT"):
+            self.advance()
+        projection = self.parse_projection()
+        if self.word_is("WHERE"):
+            self.advance()
+        if self.current.kind != "LBRACE":
+            raise self.error("expected '{'")
+        self.advance()
+        patterns = self.parse_triples()
+        if self.current.kind != "RBRACE":
+            raise self.error("expected '}'")
+        self.advance()
+        if self.current.kind != "EOF":
+            raise self.error("trailing content after '}'")
+
+        if projection is None:  # SELECT *
+            seen: List[Var] = []
+            for pattern in patterns:
+                for var in pattern:
+                    if isinstance(var, Var) and var not in seen:
+                        seen.append(var)
+            projection = seen
+        return BGPQuery(projection, patterns)
+
+    def parse_prologue(self) -> None:
+        while self.word_is("PREFIX"):
+            self.advance()
+            name_token = self.advance()
+            if name_token.kind != "WORD" or not name_token.value.endswith(":"):
+                raise self.error("expected a prefix name ending in ':'")
+            iri_token = self.advance()
+            if iri_token.kind != "IRI":
+                raise self.error("expected an <IRI> after the prefix name")
+            self.prefixes[name_token.value[:-1]] = iri_token.value[1:-1]
+
+    def parse_projection(self) -> Optional[List[Var]]:
+        if self.current.kind == "STAR":
+            self.advance()
+            return None
+        names: List[Var] = []
+        while self.current.kind == "VAR":
+            names.append(Var(self.advance().value[1:]))
+        if not names:
+            raise self.error("expected '*' or at least one ?variable")
+        return names
+
+    def parse_triples(self) -> List[TriplePattern]:
+        patterns: List[TriplePattern] = []
+        while self.current.kind != "RBRACE":
+            s = self.parse_term()
+            p = self.parse_term()
+            o = self.parse_term()
+            patterns.append(TriplePattern(s, p, o))
+            if self.current.kind == "DOT":
+                self.advance()
+            elif self.current.kind != "RBRACE":
+                raise self.error("expected '.' or '}' after a triple pattern")
+        if not patterns:
+            raise self.error("the graph pattern is empty")
+        return patterns
+
+    def parse_term(self) -> Union[Var, str]:
+        token = self.current
+        if token.kind == "VAR":
+            self.advance()
+            return Var(token.value[1:])
+        if token.kind == "IRI":
+            self.advance()
+            return token.value[1:-1]
+        if token.kind == "LITERAL":
+            self.advance()
+            return token.value
+        if token.kind == "WORD":
+            self.advance()
+            prefix, sep, local = token.value.partition(":")
+            if sep and prefix in self.prefixes:
+                return self.prefixes[prefix] + local
+            return token.value
+        raise self.error("expected a term (variable, IRI, literal, or name)")
+
+
+def parse_query(text: str) -> BGPQuery:
+    """Parse a SPARQL SELECT query (the supported subset) into algebra."""
+    return _Parser(text).parse()

@@ -1,0 +1,41 @@
+"""A miniature relational database engine.
+
+The Cinderella baseline "performs left-outer joins ... using a database"
+(the paper ran it on MySQL 5.6 and PostgreSQL 9.3).  This package provides
+that substrate: row-oriented storage plus a Volcano-style iterator
+executor with scans, projections, distinct, filters, aggregation, and two
+left-outer-join implementations — a hash join (PostgreSQL's preferred
+strategy for these plans) and a sort-merge join (the MySQL profile).
+
+The engine is deliberately generic — rows flow tuple-at-a-time through
+operator iterators, exactly like a classic interpreted executor — so the
+baseline pays the per-row indirection a real client-over-DBMS setup pays,
+rather than the cost of a hand-fused Python loop.
+"""
+
+from repro.sqldb.storage import Database, Table
+from repro.sqldb.executor import (
+    Aggregate,
+    Cursor,
+    Distinct,
+    Filter,
+    HashLeftOuterJoin,
+    Operator,
+    Project,
+    Scan,
+    SortMergeLeftOuterJoin,
+)
+
+__all__ = [
+    "Database",
+    "Table",
+    "Aggregate",
+    "Cursor",
+    "Distinct",
+    "Filter",
+    "HashLeftOuterJoin",
+    "Operator",
+    "Project",
+    "Scan",
+    "SortMergeLeftOuterJoin",
+]

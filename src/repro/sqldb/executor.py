@@ -1,0 +1,241 @@
+"""Volcano-style iterator executor for the miniature relational engine.
+
+Every operator is an iterable of row tuples; plans compose by nesting
+operators.  Rows flow tuple-at-a-time, as in a classic interpreted
+executor — the per-row indirection is the realistic cost a DBMS-backed
+client (like the Cinderella baseline) pays.
+
+Stateful operators (hash/sort joins, distinct, aggregate) accept an
+optional ``memory_budget`` — the maximum number of rows they may hold in
+their build-side/sort state — and raise
+:class:`~repro.dataflow.engine.SimulatedOutOfMemory` beyond it, emulating
+a database running out of work memory.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.dataflow.engine import SimulatedOutOfMemory
+from repro.sqldb.storage import Row, Table
+
+
+class Operator:
+    """Base class: an iterable of row tuples."""
+
+    def __iter__(self) -> Iterator[Row]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def rows(self) -> List[Row]:
+        """Materialize the full result (client-side fetchall)."""
+        return list(self)
+
+
+class Scan(Operator):
+    """Full table scan."""
+
+    def __init__(self, table: Table) -> None:
+        self.table = table
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.table)
+
+
+class Cursor(Operator):
+    """Client-side result cursor: rows cross a simulated wire protocol.
+
+    A DBMS client never receives the server's in-memory tuples — the
+    server encodes each result row into the wire format and the client
+    driver parses it back.  This operator reproduces that per-row cost
+    (encode + decode through the storage codec), which dominates
+    client-side algorithms such as the Cinderella baseline in practice.
+    """
+
+    def __init__(self, child: Iterable[Row]) -> None:
+        self.child = child
+
+    def __iter__(self) -> Iterator[Row]:
+        from repro.sqldb.storage import decode_row, encode_row
+
+        for row in self.child:
+            yield decode_row(encode_row(row))
+
+
+class Project(Operator):
+    """Column projection by positional indices."""
+
+    def __init__(self, child: Iterable[Row], indices: Tuple[int, ...]) -> None:
+        self.child = child
+        self.indices = tuple(indices)
+
+    def __iter__(self) -> Iterator[Row]:
+        indices = self.indices
+        if len(indices) == 1:
+            index = indices[0]
+            for row in self.child:
+                yield (row[index],)
+        else:
+            for row in self.child:
+                yield tuple(row[index] for index in indices)
+
+
+class Filter(Operator):
+    """Row filter by predicate."""
+
+    def __init__(self, child: Iterable[Row], predicate: Callable[[Row], bool]) -> None:
+        self.child = child
+        self.predicate = predicate
+
+    def __iter__(self) -> Iterator[Row]:
+        predicate = self.predicate
+        for row in self.child:
+            if predicate(row):
+                yield row
+
+
+class Distinct(Operator):
+    """Duplicate elimination (hash-based)."""
+
+    def __init__(
+        self, child: Iterable[Row], memory_budget: Optional[int] = None
+    ) -> None:
+        self.child = child
+        self.memory_budget = memory_budget
+
+    def __iter__(self) -> Iterator[Row]:
+        seen = set()
+        budget = self.memory_budget
+        for row in self.child:
+            if row not in seen:
+                seen.add(row)
+                if budget is not None and len(seen) > budget:
+                    raise SimulatedOutOfMemory("sql/distinct", len(seen), budget)
+                yield row
+
+
+class Aggregate(Operator):
+    """Hash aggregation: ``GROUP BY key_fn`` with count.
+
+    Emits ``(key..., count)`` rows; the key function maps a row to its
+    grouping tuple.
+    """
+
+    def __init__(
+        self,
+        child: Iterable[Row],
+        key_fn: Callable[[Row], Tuple],
+        memory_budget: Optional[int] = None,
+    ) -> None:
+        self.child = child
+        self.key_fn = key_fn
+        self.memory_budget = memory_budget
+
+    def __iter__(self) -> Iterator[Row]:
+        groups: Dict[Tuple, int] = {}
+        key_fn = self.key_fn
+        budget = self.memory_budget
+        for row in self.child:
+            key = key_fn(row)
+            groups[key] = groups.get(key, 0) + 1
+            if budget is not None and len(groups) > budget:
+                raise SimulatedOutOfMemory("sql/aggregate", len(groups), budget)
+        for key, count in groups.items():
+            yield key + (count,)
+
+
+class HashLeftOuterJoin(Operator):
+    """Left outer join with a hashed build side (the PostgreSQL profile).
+
+    Emits ``left_row + right_row`` for matches and ``left_row + (None,) *
+    right_arity`` for dangling left rows.  The build side (right input) is
+    materialized into a hash table, counted against the memory budget.
+    """
+
+    def __init__(
+        self,
+        left: Iterable[Row],
+        right: Iterable[Row],
+        left_key: int,
+        right_key: int,
+        memory_budget: Optional[int] = None,
+    ) -> None:
+        self.left = left
+        self.right = right
+        self.left_key = left_key
+        self.right_key = right_key
+        self.memory_budget = memory_budget
+
+    def __iter__(self) -> Iterator[Row]:
+        build: Dict[object, List[Row]] = {}
+        right_key = self.right_key
+        budget = self.memory_budget
+        build_rows = 0
+        right_arity = 0
+        for row in self.right:
+            right_arity = len(row)
+            build.setdefault(row[right_key], []).append(row)
+            build_rows += 1
+            if budget is not None and build_rows > budget:
+                raise SimulatedOutOfMemory("sql/hash-join-build", build_rows, budget)
+        nulls = (None,) * right_arity
+        left_key = self.left_key
+        for row in self.left:
+            matches = build.get(row[left_key])
+            if matches is None:
+                yield row + nulls
+            else:
+                for match in matches:
+                    yield row + match
+
+
+class SortMergeLeftOuterJoin(Operator):
+    """Left outer join via sorting both inputs (the MySQL profile).
+
+    Both inputs are materialized and sorted by their key columns — the
+    sort buffers count against the memory budget — then merged.
+    """
+
+    def __init__(
+        self,
+        left: Iterable[Row],
+        right: Iterable[Row],
+        left_key: int,
+        right_key: int,
+        memory_budget: Optional[int] = None,
+    ) -> None:
+        self.left = left
+        self.right = right
+        self.left_key = left_key
+        self.right_key = right_key
+        self.memory_budget = memory_budget
+
+    def __iter__(self) -> Iterator[Row]:
+        budget = self.memory_budget
+        left_rows = list(self.left)
+        right_rows = list(self.right)
+        if budget is not None and len(left_rows) + len(right_rows) > budget:
+            raise SimulatedOutOfMemory(
+                "sql/sort-buffers", len(left_rows) + len(right_rows), budget
+            )
+        left_key = self.left_key
+        right_key = self.right_key
+        left_rows.sort(key=lambda row: row[left_key])
+        right_rows.sort(key=lambda row: row[right_key])
+        right_arity = len(right_rows[0]) if right_rows else 0
+        nulls = (None,) * right_arity
+
+        position = 0
+        n_right = len(right_rows)
+        for row in left_rows:
+            key = row[left_key]
+            while position < n_right and right_rows[position][right_key] < key:
+                position += 1
+            if position < n_right and right_rows[position][right_key] == key:
+                # emit all right rows with this key (without advancing the
+                # global cursor past them: later left rows may share keys)
+                scan = position
+                while scan < n_right and right_rows[scan][right_key] == key:
+                    yield row + right_rows[scan]
+                    scan += 1
+            else:
+                yield row + nulls

@@ -1,0 +1,111 @@
+"""Tests for the ontology reverse-engineering and knowledge-discovery apps."""
+
+import pytest
+
+from repro.apps import discover_knowledge, reverse_engineer_ontology
+from repro.core.discovery import find_pertinent_cinds
+from repro.datasets import db14_mpce, linkedmdb
+
+
+@pytest.fixture(scope="module")
+def mpce_result():
+    return find_pertinent_cinds(
+        db14_mpce(scale=0.35).encode(), support_threshold=10, parallelism=4
+    )
+
+
+@pytest.fixture(scope="module")
+def lmdb_result():
+    return find_pertinent_cinds(
+        linkedmdb(scale=0.1).encode(), support_threshold=10, parallelism=4
+    )
+
+
+class TestOntologyHints:
+    def test_subclass_hint(self, mpce_result):
+        hints = reverse_engineer_ontology(mpce_result, min_support=10)
+        rendered = {h.describe() for h in hints}
+        assert any("Leptodactylidae rdfs:subClassOf Frog" in r for r in rendered)
+
+    def test_subproperty_hint_requires_both_sides(self, mpce_result):
+        hints = reverse_engineer_ontology(mpce_result, min_support=10)
+        subproperties = {
+            (h.subject, h.object) for h in hints if h.kind == "subproperty"
+        }
+        assert ("associatedBand", "associatedMusicalArtist") in subproperties
+
+    def test_domain_hints(self, mpce_result):
+        hints = reverse_engineer_ontology(mpce_result, min_support=10)
+        domains = {
+            (h.subject, h.object) for h in hints if h.kind == "domain"
+        }
+        assert ("areaCode", "Settlement") in domains
+        assert ("birthPlace", "Person") in domains
+
+    def test_range_hints(self, mpce_result):
+        hints = reverse_engineer_ontology(mpce_result, min_support=10)
+        ranges = {(h.subject, h.object) for h in hints if h.kind == "range"}
+        assert ("birthPlace", "Settlement") in ranges
+
+    def test_class_detection_from_ars(self, lmdb_result):
+        """The paper's lmdb:performance class-detection example."""
+        hints = reverse_engineer_ontology(lmdb_result, min_support=10)
+        classes = {h.subject for h in hints if h.kind == "class"}
+        assert "lmdb:performance" in classes
+
+    def test_movie_editor_range(self, lmdb_result):
+        hints = reverse_engineer_ontology(lmdb_result, min_support=10)
+        ranges = {(h.subject, h.object) for h in hints if h.kind == "range"}
+        assert ("movieEditor", "foaf:Person") in ranges
+
+    def test_min_support_filters(self, mpce_result):
+        all_hints = reverse_engineer_ontology(mpce_result, min_support=10)
+        strong_hints = reverse_engineer_ontology(mpce_result, min_support=500)
+        assert len(strong_hints) < len(all_hints)
+        assert all(h.support >= 500 for h in strong_hints)
+
+    def test_describe_templates(self, mpce_result):
+        for hint in reverse_engineer_ontology(mpce_result, min_support=10)[:10]:
+            text = hint.describe()
+            assert hint.subject in text and str(hint.support) in text
+
+
+class TestKnowledgeFacts:
+    def test_acdc_equivalence(self, mpce_result):
+        facts = discover_knowledge(mpce_result, min_support=10)
+        equivalences = [f for f in facts if f.kind == "equivalence"]
+        rendered = {f.describe() for f in equivalences}
+        assert any(
+            "Angus_Young" in r and "Malcolm_Young" in r for r in rendered
+        )
+
+    def test_acdc_support_is_26(self, mpce_result):
+        facts = discover_knowledge(mpce_result, min_support=10)
+        young = [
+            f for f in facts
+            if f.kind == "equivalence" and "Angus_Young" in f.lhs + f.rhs
+        ]
+        assert young and young[0].support == 26
+
+    def test_area_code_rule(self, mpce_result):
+        facts = discover_knowledge(mpce_result, min_support=10)
+        rendered = {f.describe() for f in facts if f.kind == "rule"}
+        assert any(
+            'areaCode="559"' in r and "partOf=California" in r for r in rendered
+        )
+
+    def test_rules_exclude_pure_class_hierarchy(self, mpce_result):
+        facts = discover_knowledge(mpce_result, min_support=10)
+        for fact in facts:
+            assert not (
+                fact.lhs.startswith("rdf:type=") and fact.rhs.startswith("rdf:type=")
+            )
+
+    def test_equivalences_not_duplicated(self, mpce_result):
+        facts = discover_knowledge(mpce_result, min_support=10)
+        seen = set()
+        for fact in facts:
+            if fact.kind == "equivalence":
+                key = frozenset((fact.lhs, fact.rhs))
+                assert key not in seen
+                seen.add(key)

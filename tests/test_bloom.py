@@ -1,0 +1,158 @@
+"""Tests for the Bloom filter."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dataflow.bloom import BloomFilter
+
+
+_int_keys = st.one_of(
+    st.integers(-(10**6), 10**6),
+    st.tuples(st.integers(0, 1000), st.integers(0, 1000)),
+)
+
+
+class TestBasics:
+    def test_empty_contains_nothing(self):
+        bloom = BloomFilter(256)
+        assert 42 not in bloom
+        assert bloom.is_empty()
+
+    def test_added_items_are_members(self):
+        bloom = BloomFilter(256)
+        bloom.add(42)
+        assert 42 in bloom
+        assert not bloom.is_empty()
+
+    def test_update_many(self):
+        bloom = BloomFilter(1024)
+        bloom.update(range(50))
+        assert all(i in bloom for i in range(50))
+
+    def test_string_and_tuple_keys(self):
+        bloom = BloomFilter(512)
+        bloom.add("hello")
+        bloom.add((1, "x", b"y"))
+        assert "hello" in bloom
+        assert (1, "x", b"y") in bloom
+
+    def test_unsupported_key_type_raises(self):
+        bloom = BloomFilter(256)
+        with pytest.raises(TypeError):
+            bloom.add([1, 2])
+
+    def test_min_bits_clamped(self):
+        assert BloomFilter(1).num_bits == 8
+
+    def test_hash_count_validation(self):
+        with pytest.raises(ValueError):
+            BloomFilter(256, num_hashes=0)
+
+
+class TestSizing:
+    def test_for_capacity_respects_fp_rate(self):
+        small = BloomFilter.for_capacity(100, fp_rate=0.1)
+        large = BloomFilter.for_capacity(100, fp_rate=0.001)
+        assert large.num_bits > small.num_bits
+
+    def test_for_capacity_validates_rate(self):
+        with pytest.raises(ValueError):
+            BloomFilter.for_capacity(10, fp_rate=1.5)
+
+    def test_from_items(self):
+        bloom = BloomFilter.from_items(range(20), capacity=20)
+        assert all(i in bloom for i in range(20))
+
+    def test_observed_fp_rate_close_to_target(self):
+        bloom = BloomFilter.from_items(range(1000), capacity=1000, fp_rate=0.01)
+        false_positives = sum(1 for i in range(10_000, 20_000) if i in bloom)
+        assert false_positives / 10_000 < 0.05
+
+
+class TestSetOperations:
+    def test_union_contains_both_sides(self):
+        a = BloomFilter.from_items(range(0, 50), capacity=100)
+        b = BloomFilter(a.num_bits, a.num_hashes)
+        b.update(range(50, 100))
+        union = a | b
+        assert all(i in union for i in range(100))
+
+    def test_union_update_in_place(self):
+        a = BloomFilter(256)
+        b = BloomFilter(256)
+        b.add(7)
+        assert a.union_update(b) is a
+        assert 7 in a
+
+    def test_intersect_has_no_false_negatives_on_common(self):
+        a = BloomFilter(2048)
+        b = BloomFilter(2048)
+        common = list(range(20))
+        a.update(common + list(range(100, 120)))
+        b.update(common + list(range(200, 220)))
+        intersection = a & b
+        assert all(i in intersection for i in common)
+
+    def test_incompatible_geometries_rejected(self):
+        with pytest.raises(ValueError):
+            BloomFilter(256) | BloomFilter(512)
+
+    def test_equality(self):
+        a = BloomFilter(256)
+        b = BloomFilter(256)
+        a.add(1)
+        b.add(1)
+        assert a == b
+        b.add(2)
+        assert a != b
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(BloomFilter(256))
+
+
+class TestDiagnostics:
+    def test_fill_ratio_grows(self):
+        bloom = BloomFilter(256)
+        before = bloom.fill_ratio
+        bloom.update(range(10))
+        assert bloom.fill_ratio > before
+
+    def test_cardinality_estimate_in_ballpark(self):
+        bloom = BloomFilter.for_capacity(500, fp_rate=0.01)
+        bloom.update(range(500))
+        estimate = bloom.approximate_cardinality()
+        assert 350 < estimate < 700
+
+    def test_repr(self):
+        assert "bits=256" in repr(BloomFilter(256))
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        bloom = BloomFilter.from_items(range(30), capacity=30)
+        clone = BloomFilter.from_bytes(bloom.to_bytes())
+        assert clone == bloom
+        assert all(i in clone for i in range(30))
+
+    def test_corrupt_payload_rejected(self):
+        payload = BloomFilter(256).to_bytes()
+        with pytest.raises(ValueError):
+            BloomFilter.from_bytes(payload[:-1])
+
+
+class TestNoFalseNegatives:
+    @given(st.lists(_int_keys, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_every_inserted_key_is_member(self, keys):
+        bloom = BloomFilter.for_capacity(max(1, len(keys)), fp_rate=0.01)
+        for key in keys:
+            bloom.add(key)
+        assert all(key in bloom for key in keys)
+
+    @given(st.lists(st.text(max_size=12), max_size=100))
+    @settings(max_examples=40, deadline=None)
+    def test_string_keys_no_false_negatives(self, keys):
+        bloom = BloomFilter.for_capacity(max(1, len(keys)))
+        bloom.update(keys)
+        assert all(key in bloom for key in keys)

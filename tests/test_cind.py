@@ -1,0 +1,157 @@
+"""Tests for captures, CINDs, and association rules."""
+
+import pytest
+
+from repro.core.cind import (
+    CIND,
+    AssociationRule,
+    Capture,
+    SupportedAR,
+    SupportedCIND,
+    decode_capture,
+    decode_cind,
+    decode_condition,
+)
+from repro.core.conditions import BinaryCondition, UnaryCondition
+from repro.rdf.model import Attr, EncodedTriple, TermDictionary
+
+
+def _dictionary():
+    dictionary = TermDictionary()
+    for term in ("rdf:type", "gradStudent", "memberOf", "undergradFrom"):
+        dictionary.encode(term)
+    return dictionary
+
+
+class TestCapture:
+    def test_make_valid(self):
+        capture = Capture.make(Attr.S, UnaryCondition(Attr.P, 0))
+        assert capture.attr is Attr.S
+
+    def test_make_rejects_projection_in_condition(self):
+        with pytest.raises(ValueError):
+            Capture.make(Attr.P, UnaryCondition(Attr.P, 0))
+        with pytest.raises(ValueError):
+            Capture.make(Attr.O, BinaryCondition.make(Attr.P, 0, Attr.O, 1))
+
+    def test_value_of(self):
+        capture = Capture(Attr.S, UnaryCondition(Attr.P, 0))
+        assert capture.value_of(EncodedTriple(7, 0, 1)) == 7
+        assert capture.value_of(EncodedTriple(7, 9, 1)) is None
+
+    def test_arity_flags(self):
+        unary = Capture(Attr.S, UnaryCondition(Attr.P, 0))
+        binary = Capture(Attr.S, BinaryCondition.make(Attr.P, 0, Attr.O, 1))
+        assert unary.is_unary and not unary.is_binary
+        assert binary.is_binary and not binary.is_unary
+
+    def test_unary_relaxations(self):
+        binary = Capture(Attr.S, BinaryCondition.make(Attr.P, 0, Attr.O, 1))
+        relaxed = set(binary.unary_relaxations())
+        assert relaxed == {
+            Capture(Attr.S, UnaryCondition(Attr.P, 0)),
+            Capture(Attr.S, UnaryCondition(Attr.O, 1)),
+        }
+        assert list(Capture(Attr.S, UnaryCondition(Attr.P, 0)).unary_relaxations()) == []
+
+    def test_render(self):
+        dictionary = _dictionary()
+        capture = Capture(
+            Attr.S, BinaryCondition.make(Attr.P, 0, Attr.O, 1)
+        )
+        assert capture.render(dictionary) == "(s, p=rdf:type ∧ o=gradStudent)"
+
+
+class TestCIND:
+    def test_trivial_reflexive_like(self):
+        capture = Capture(Attr.S, UnaryCondition(Attr.P, 0))
+        assert CIND(capture, capture).is_trivial()
+
+    def test_trivial_binary_to_unary_same_projection(self):
+        binary = Capture(Attr.S, BinaryCondition.make(Attr.P, 0, Attr.O, 1))
+        unary = Capture(Attr.S, UnaryCondition(Attr.P, 0))
+        assert CIND(binary, unary).is_trivial()
+        assert not CIND(unary, binary).is_trivial()
+
+    def test_not_trivial_across_projections(self):
+        a = Capture(Attr.S, UnaryCondition(Attr.P, 0))
+        b = Capture(Attr.O, UnaryCondition(Attr.P, 0))
+        assert not CIND(a, b).is_trivial()
+
+    def test_render(self):
+        dictionary = _dictionary()
+        cind = CIND(
+            Capture(Attr.S, UnaryCondition(Attr.P, 2)),
+            Capture(Attr.S, UnaryCondition(Attr.P, 0)),
+        )
+        assert cind.render(dictionary) == "(s, p=memberOf) ⊆ (s, p=rdf:type)"
+
+    def test_supported_render_includes_support(self):
+        dictionary = _dictionary()
+        cind = CIND(
+            Capture(Attr.S, UnaryCondition(Attr.P, 2)),
+            Capture(Attr.S, UnaryCondition(Attr.P, 0)),
+        )
+        assert "[support=5]" in SupportedCIND(cind, 5).render(dictionary)
+
+
+class TestAssociationRule:
+    def test_binary_condition(self):
+        rule = AssociationRule(
+            UnaryCondition(Attr.O, 1), UnaryCondition(Attr.P, 0)
+        )
+        assert rule.binary_condition == BinaryCondition.make(Attr.P, 0, Attr.O, 1)
+
+    def test_implied_cinds_use_free_attributes(self):
+        rule = AssociationRule(
+            UnaryCondition(Attr.O, 1), UnaryCondition(Attr.P, 0)
+        )
+        implied = list(rule.implied_cinds({Attr.S, Attr.P, Attr.O}))
+        assert len(implied) == 1
+        (cind,) = implied
+        assert cind.dependent == Capture(Attr.S, UnaryCondition(Attr.O, 1))
+        assert cind.referenced == Capture(
+            Attr.S, BinaryCondition.make(Attr.P, 0, Attr.O, 1)
+        )
+
+    def test_implied_cinds_respect_scope(self):
+        rule = AssociationRule(
+            UnaryCondition(Attr.O, 1), UnaryCondition(Attr.P, 0)
+        )
+        assert list(rule.implied_cinds({Attr.P})) == []
+
+    def test_render(self):
+        dictionary = _dictionary()
+        rule = AssociationRule(
+            UnaryCondition(Attr.O, 1), UnaryCondition(Attr.P, 0)
+        )
+        assert rule.render(dictionary) == "o=gradStudent → p=rdf:type"
+        assert "[support=2]" in SupportedAR(rule, 2).render(dictionary)
+
+
+class TestDecoding:
+    def test_decode_condition(self):
+        dictionary = _dictionary()
+        unary = UnaryCondition(Attr.P, 0)
+        assert decode_condition(unary, dictionary) == UnaryCondition(Attr.P, "rdf:type")
+        binary = BinaryCondition.make(Attr.P, 0, Attr.O, 1)
+        decoded = decode_condition(binary, dictionary)
+        assert decoded.value1 == "rdf:type" and decoded.value2 == "gradStudent"
+
+    def test_decode_capture_and_cind(self):
+        dictionary = _dictionary()
+        cind = CIND(
+            Capture(Attr.S, UnaryCondition(Attr.P, 2)),
+            Capture(Attr.S, UnaryCondition(Attr.P, 3)),
+        )
+        decoded = decode_cind(cind, dictionary)
+        assert decoded.dependent.condition.value == "memberOf"
+        assert decoded.referenced.condition.value == "undergradFrom"
+        assert decode_capture(cind.dependent, dictionary) == decoded.dependent
+
+    def test_decoded_structures_keep_behaviour(self):
+        dictionary = _dictionary()
+        binary = BinaryCondition.make(Attr.P, 0, Attr.O, 1)
+        decoded = decode_condition(binary, dictionary)
+        parts = decoded.unary_parts()
+        assert parts[0].value in ("rdf:type", "gradStudent")

@@ -1,0 +1,152 @@
+"""Tests for conditions, implication, and condition scopes."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.conditions import (
+    BinaryCondition,
+    ConditionScope,
+    UnaryCondition,
+    conditions_of_triple,
+    implies,
+    is_binary,
+    is_unary,
+    strictly_implies,
+)
+from repro.rdf.model import Attr, EncodedTriple
+
+T = EncodedTriple(10, 20, 30)
+
+
+class TestUnaryCondition:
+    def test_matches(self):
+        assert UnaryCondition(Attr.S, 10).matches(T)
+        assert not UnaryCondition(Attr.S, 11).matches(T)
+        assert UnaryCondition(Attr.O, 30).matches(T)
+
+    def test_attrs(self):
+        assert UnaryCondition(Attr.P, 20).attrs == (Attr.P,)
+
+    def test_render(self, table1_encoded):
+        term = table1_encoded.dictionary.encode_existing("rdf:type")
+        condition = UnaryCondition(Attr.P, term)
+        assert condition.render(table1_encoded.dictionary) == "p=rdf:type"
+
+
+class TestBinaryCondition:
+    def test_make_canonicalizes_attr_order(self):
+        a = BinaryCondition.make(Attr.O, 30, Attr.P, 20)
+        b = BinaryCondition.make(Attr.P, 20, Attr.O, 30)
+        assert a == b
+        assert a.attr1 == Attr.P
+
+    def test_make_rejects_same_attribute(self):
+        with pytest.raises(ValueError):
+            BinaryCondition.make(Attr.S, 1, Attr.S, 2)
+
+    def test_matches_requires_both(self):
+        condition = BinaryCondition.make(Attr.S, 10, Attr.O, 30)
+        assert condition.matches(T)
+        assert not condition.matches(EncodedTriple(10, 20, 31))
+
+    def test_unary_parts(self):
+        condition = BinaryCondition.make(Attr.P, 20, Attr.O, 30)
+        assert condition.unary_parts() == (
+            UnaryCondition(Attr.P, 20),
+            UnaryCondition(Attr.O, 30),
+        )
+
+    def test_other_part(self):
+        condition = BinaryCondition.make(Attr.P, 20, Attr.O, 30)
+        assert condition.other_part(UnaryCondition(Attr.P, 20)) == UnaryCondition(Attr.O, 30)
+
+    def test_other_part_rejects_non_component(self):
+        condition = BinaryCondition.make(Attr.P, 20, Attr.O, 30)
+        with pytest.raises(ValueError):
+            condition.other_part(UnaryCondition(Attr.S, 10))
+
+    def test_arity_helpers(self):
+        unary = UnaryCondition(Attr.S, 1)
+        binary = BinaryCondition.make(Attr.S, 1, Attr.P, 2)
+        assert is_unary(unary) and not is_binary(unary)
+        assert is_binary(binary) and not is_unary(binary)
+
+
+class TestImplication:
+    def test_binary_implies_its_parts(self):
+        binary = BinaryCondition.make(Attr.P, 20, Attr.O, 30)
+        for part in binary.unary_parts():
+            assert implies(binary, part)
+            assert strictly_implies(binary, part)
+
+    def test_reflexive(self):
+        unary = UnaryCondition(Attr.S, 1)
+        assert implies(unary, unary)
+        assert not strictly_implies(unary, unary)
+
+    def test_unary_does_not_imply_binary(self):
+        binary = BinaryCondition.make(Attr.P, 20, Attr.O, 30)
+        assert not implies(UnaryCondition(Attr.P, 20), binary)
+
+    def test_unrelated_conditions(self):
+        assert not implies(UnaryCondition(Attr.P, 20), UnaryCondition(Attr.P, 21))
+        assert not implies(
+            BinaryCondition.make(Attr.P, 20, Attr.O, 30),
+            UnaryCondition(Attr.S, 10),
+        )
+
+    @given(st.integers(0, 5), st.integers(0, 5))
+    def test_implication_is_semantic(self, v1, v2):
+        """tighter => looser must mean: every matching triple matches."""
+        tighter = BinaryCondition.make(Attr.S, v1, Attr.P, v2)
+        looser = UnaryCondition(Attr.S, v1)
+        assert implies(tighter, looser)
+        for s in range(6):
+            for p in range(6):
+                triple = EncodedTriple(s, p, 0)
+                if tighter.matches(triple):
+                    assert looser.matches(triple)
+
+
+class TestConditionsOfTriple:
+    def test_full_scope_yields_three_unary_three_binary(self):
+        conditions = list(conditions_of_triple(T))
+        assert sum(1 for c in conditions if is_unary(c)) == 3
+        assert sum(1 for c in conditions if is_binary(c)) == 3
+
+    def test_every_condition_matches_its_triple(self):
+        for condition in conditions_of_triple(T):
+            assert condition.matches(T)
+
+    def test_predicates_only_scope(self):
+        scope = ConditionScope.predicates_only()
+        conditions = list(conditions_of_triple(T, scope))
+        assert conditions == [UnaryCondition(Attr.P, 20)]
+
+
+class TestConditionScope:
+    def test_full_scope_allows_everything(self):
+        scope = ConditionScope.full()
+        assert scope.allows_projection(Attr.S)
+        assert scope.allows_condition(BinaryCondition.make(Attr.S, 1, Attr.O, 2))
+
+    def test_predicates_only_restricts(self):
+        scope = ConditionScope.predicates_only()
+        assert not scope.allows_projection(Attr.P)
+        assert scope.allows_projection(Attr.S)
+        assert scope.allows_condition(UnaryCondition(Attr.P, 1))
+        assert not scope.allows_condition(UnaryCondition(Attr.S, 1))
+        assert not scope.allows_condition(
+            BinaryCondition.make(Attr.S, 1, Attr.P, 2)
+        )
+
+    def test_condition_attrs_for_excludes_projection(self):
+        scope = ConditionScope.full()
+        assert scope.condition_attrs_for(Attr.S) == (Attr.P, Attr.O)
+        assert ConditionScope.predicates_only().condition_attrs_for(Attr.S) == (Attr.P,)
+
+    def test_empty_scopes_rejected(self):
+        with pytest.raises(ValueError):
+            ConditionScope(projection_attrs=frozenset())
+        with pytest.raises(ValueError):
+            ConditionScope(condition_attrs=frozenset())

@@ -1,0 +1,292 @@
+"""Tests for the simulated dataflow engine."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dataflow.engine import (
+    DataSet,
+    ExecutionEnvironment,
+    SimulatedOutOfMemory,
+)
+
+
+def env(parallelism=3, **kwargs):
+    return ExecutionEnvironment(parallelism=parallelism, **kwargs)
+
+
+class TestConstruction:
+    def test_parallelism_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ExecutionEnvironment(parallelism=0)
+
+    def test_from_collection_partitions_all_records(self):
+        ds = env(4).from_collection(range(10))
+        assert ds.count() == 10
+        assert len(ds.partitions) == 4
+
+    def test_from_partitions_pads_to_parallelism(self):
+        ds = env(4).from_partitions([[1, 2], [3]])
+        assert len(ds.partitions) == 4
+        assert ds.count() == 3
+
+    def test_from_partitions_merges_excess(self):
+        ds = env(2).from_partitions([[1], [2], [3], [4]])
+        assert len(ds.partitions) == 2
+        assert sorted(ds.collect()) == [1, 2, 3, 4]
+
+
+class TestElementWise:
+    def test_map(self):
+        ds = env().from_collection(range(6)).map(lambda x: x * 2)
+        assert sorted(ds.collect()) == [0, 2, 4, 6, 8, 10]
+
+    def test_flat_map(self):
+        ds = env().from_collection(range(3)).flat_map(lambda x: [x] * x)
+        assert sorted(ds.collect()) == [1, 2, 2]
+
+    def test_filter(self):
+        ds = env().from_collection(range(10)).filter(lambda x: x % 2 == 0)
+        assert sorted(ds.collect()) == [0, 2, 4, 6, 8]
+
+    def test_map_partition_receives_worker_index(self):
+        ds = env(3).from_collection(range(9)).map_partition(
+            lambda part, worker: [(worker, len(part))]
+        )
+        rows = dict(ds.collect())
+        assert set(rows) == {0, 1, 2}
+        assert sum(rows.values()) == 9
+
+
+class TestKeyedOperators:
+    def _word_counts(self, parallelism, combine):
+        words = ["a", "b", "a", "c", "b", "a"]
+        ds = env(parallelism).from_collection(words)
+        counted = ds.reduce_by_key(
+            key_fn=lambda w: w,
+            value_fn=lambda _w: 1,
+            reduce_fn=lambda x, y: x + y,
+            combine=combine,
+        )
+        return dict(counted.collect())
+
+    @pytest.mark.parametrize("parallelism", [1, 2, 5])
+    @pytest.mark.parametrize("combine", [True, False])
+    def test_reduce_by_key_counts(self, parallelism, combine):
+        assert self._word_counts(parallelism, combine) == {"a": 3, "b": 2, "c": 1}
+
+    def test_combine_reduces_shuffle_volume(self):
+        words = ["a"] * 100
+        env_combined = env(2)
+        env_combined.from_collection(words).reduce_by_key(
+            lambda w: w, lambda _w: 1, lambda x, y: x + y, combine=True
+        )
+        combined_shuffle = env_combined.metrics.shuffled_records
+
+        env_plain = env(2)
+        env_plain.from_collection(words).reduce_by_key(
+            lambda w: w, lambda _w: 1, lambda x, y: x + y, combine=False
+        )
+        plain_shuffle = env_plain.metrics.shuffled_records
+        assert combined_shuffle < plain_shuffle
+
+    @pytest.mark.parametrize("parallelism", [1, 3])
+    def test_flat_map_reduce_by_key_equals_unfused(self, parallelism):
+        values = list(range(40))
+
+        def flat_fn(x):
+            yield x % 5, 1
+            yield x % 3, 10
+
+        fused = dict(
+            env(parallelism)
+            .from_collection(values)
+            .flat_map_reduce_by_key(flat_fn, lambda a, b: a + b)
+            .collect()
+        )
+        unfused = dict(
+            env(parallelism)
+            .from_collection(values)
+            .flat_map(lambda x: list(flat_fn(x)))
+            .reduce_by_key(
+                lambda p: p[0], lambda p: p[1], lambda a, b: a + b
+            )
+            .collect()
+        )
+        assert fused == unfused
+
+    def test_flat_map_reduce_state_budget(self):
+        environment = env(1, memory_budget=10)
+        ds = environment.from_collection(range(10))
+        with pytest.raises(SimulatedOutOfMemory):
+            # each record contributes a fresh key with cost 5
+            ds.flat_map_reduce_by_key(
+                lambda x: [(x, {x})],
+                lambda a, b: a | b,
+                state_cost_fn=lambda value: 5,
+            )
+
+    def test_flat_map_reduce_tracks_peak_state(self):
+        environment = env(1)
+        environment.from_collection(range(8)).flat_map_reduce_by_key(
+            lambda x: [(x % 2, frozenset([x]))],
+            lambda a, b: a | b,
+            state_cost_fn=len,
+        )
+        stage = environment.metrics.stage_by_name("flat_map_reduce_by_key")
+        assert stage.peak_state_cost == 8
+
+    def test_group_by_key(self):
+        ds = env(2).from_collection([(1, "a"), (2, "b"), (1, "c")])
+        grouped = dict(ds.group_by_key(lambda pair: pair[0]).collect())
+        assert sorted(v for _k, v in grouped[1]) == ["a", "c"]
+        assert [v for _k, v in grouped[2]] == ["b"]
+
+    def test_co_group_inner_and_outer(self):
+        left = env(2).from_collection([("a", 1), ("b", 2)])
+        right = left.env.from_collection([("b", 20), ("c", 30)])
+
+        def join(key, lefts, rights):
+            yield key, [v for _k, v in lefts], [v for _k, v in rights]
+
+        rows = {key: (l, r) for key, l, r in left.co_group(
+            right, lambda p: p[0], lambda p: p[0], join
+        ).collect()}
+        assert rows["a"] == ([1], [])
+        assert rows["b"] == ([2], [20])
+        assert rows["c"] == ([], [30])
+
+
+class TestGlobalOperators:
+    def test_reduce_partitions(self):
+        total = env(4).from_collection(range(10)).reduce_partitions(
+            local_fn=sum, merge_fn=lambda a, b: a + b
+        )
+        assert total == 45
+
+    def test_collect_preserves_all(self):
+        ds = env(3).from_collection(range(7))
+        assert sorted(ds.collect()) == list(range(7))
+
+    def test_broadcast_accounts_per_worker_copies(self):
+        environment = env(4)
+        ds = environment.from_collection(range(5))
+        values = ds.broadcast()
+        assert sorted(values) == list(range(5))
+        assert environment.metrics.broadcast_records == 20
+
+    def test_count_records_no_stage(self):
+        environment = env(2)
+        ds = environment.from_collection(range(5))
+        stages_before = len(environment.metrics.stages)
+        assert ds.count() == 5
+        assert len(environment.metrics.stages) == stages_before
+
+
+class TestRepartitioning:
+    def test_rebalance_evens_out(self):
+        environment = env(4)
+        ds = environment.from_partitions([[1] * 8, [], [], []]).rebalance()
+        sizes = [len(p) for p in ds.partitions]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_partition_by_key_is_deterministic(self):
+        ds = env(3).from_collection(range(20)).partition_by_key(lambda x: x % 5)
+        for partition in ds.partitions:
+            # all records with equal key land in the same partition
+            keys_here = {x % 5 for x in partition}
+            for other in ds.partitions:
+                if other is not partition:
+                    assert keys_here.isdisjoint({x % 5 for x in other})
+
+    def test_union(self):
+        a = env(2).from_collection([1, 2])
+        b = a.env.from_collection([3, 4])
+        assert sorted(a.union(b).collect()) == [1, 2, 3, 4]
+
+
+class TestMemoryBudget:
+    def test_reduce_by_key_over_budget_raises(self):
+        environment = env(1, memory_budget=3)
+        ds = environment.from_collection(range(10))
+        with pytest.raises(SimulatedOutOfMemory):
+            ds.reduce_by_key(lambda x: x, lambda x: x, lambda a, b: a)
+
+    def test_collect_over_budget_raises(self):
+        environment = env(1, memory_budget=3)
+        ds = environment.from_collection(range(10))
+        with pytest.raises(SimulatedOutOfMemory):
+            ds.collect()
+
+    def test_within_budget_passes(self):
+        environment = env(1, memory_budget=100)
+        ds = environment.from_collection(range(10))
+        assert len(ds.collect()) == 10
+
+    def test_error_reports_stage_and_sizes(self):
+        try:
+            env(1, memory_budget=2).from_collection(range(9)).collect()
+        except SimulatedOutOfMemory as error:
+            assert error.budget == 2
+            assert error.records > 2
+        else:  # pragma: no cover
+            pytest.fail("expected SimulatedOutOfMemory")
+
+
+class TestMetrics:
+    def test_stage_recorded_per_operator(self):
+        environment = env(2)
+        environment.from_collection(range(4)).map(lambda x: x).filter(bool)
+        names = [stage.name for stage in environment.metrics.stages]
+        assert names == ["source", "map", "filter"]
+
+    def test_record_counts(self):
+        environment = env(2)
+        environment.from_collection(range(10)).filter(lambda x: x < 3)
+        stage = environment.metrics.stage_by_name("filter")
+        assert stage.total_in == 10
+        assert stage.total_out == 3
+
+    def test_simulated_time_nonnegative_and_bounded_by_cpu(self):
+        environment = env(4)
+        environment.from_collection(range(100)).map(lambda x: x * x)
+        metrics = environment.metrics
+        assert 0 <= metrics.simulated_parallel_seconds <= metrics.total_cpu_seconds + 1e-9
+
+    def test_summary_keys(self):
+        environment = env(2)
+        environment.from_collection(range(4))
+        summary = environment.metrics.summary()
+        assert {"parallelism", "stages", "simulated_parallel_seconds"} <= set(summary)
+
+    def test_describe_contains_stage_lines(self):
+        environment = env(2)
+        environment.from_collection(range(4)).map(lambda x: x)
+        text = environment.metrics.describe()
+        assert "map" in text and "TOTAL" in text
+
+    def test_merge_prefixed(self):
+        a = env(2)
+        a.from_collection(range(4))
+        b = env(2)
+        b.from_collection(range(4))
+        a.metrics.merge_prefixed(b.metrics, "sub/")
+        assert a.metrics.stage_by_name("sub/source") is not None
+
+
+class TestParallelismInvariance:
+    @given(
+        st.lists(st.integers(-50, 50), max_size=60),
+        st.integers(min_value=1, max_value=7),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_pipeline_result_independent_of_parallelism(self, values, parallelism):
+        def run(par):
+            ds = ExecutionEnvironment(parallelism=par).from_collection(values)
+            counted = (
+                ds.map(lambda x: x % 7)
+                .filter(lambda x: x != 3)
+                .reduce_by_key(lambda x: x, lambda _x: 1, lambda a, b: a + b)
+            )
+            return sorted(counted.collect())
+
+        assert run(parallelism) == run(1)

@@ -1,0 +1,145 @@
+"""Tests for the future-work extensions: threshold advisor and ranking."""
+
+import pytest
+
+from repro.apps import (
+    rank_cinds,
+    recommend_support_threshold,
+    spurious,
+)
+from repro.core.discovery import find_pertinent_cinds
+from repro.core.validation import NaiveProfiler
+from repro.datasets import countries, diseasome
+from tests.conftest import random_rdf
+
+
+@pytest.fixture(scope="module")
+def countries_dataset():
+    return countries(scale=0.5)
+
+
+@pytest.fixture(scope="module")
+def countries_report(countries_dataset):
+    return recommend_support_threshold(countries_dataset)
+
+
+class TestThresholdAdvisor:
+    def test_counts_match_oracle(self, table1_encoded):
+        report = recommend_support_threshold(table1_encoded)
+        profiler = NaiveProfiler(table1_encoded)
+        assert report.distinct_conditions == len(profiler.condition_frequencies())
+        for h in (1, 2, 3):
+            assert report.frequent_conditions_at(h) == len(
+                profiler.frequent_conditions(h)
+            )
+
+    def test_broad_captures_monotone(self, countries_report):
+        counts = [
+            countries_report.broad_captures_at(h) for h in (1, 5, 10, 100, 1000)
+        ]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_broad_captures_at_matches_supports(self, table1_encoded):
+        report = recommend_support_threshold(table1_encoded)
+        profiler = NaiveProfiler(table1_encoded)
+        # count all captures (any condition) with interpretation >= 2
+        universe = set()
+        from repro.core.cind import Capture
+        from repro.core.conditions import conditions_of_triple
+
+        for triple in table1_encoded:
+            for condition in conditions_of_triple(triple):
+                used = set(condition.attrs)
+                for attr in (a for a in (0, 1, 2) if a not in [int(x) for x in used]):
+                    from repro.rdf.model import Attr
+
+                    universe.add(Capture(Attr(attr), condition))
+        broad = sum(
+            1 for capture in universe if profiler.capture_support(capture) >= 2
+        )
+        assert report.broad_captures_at(2) == broad
+
+    def test_recommendations_present(self, countries_report):
+        use_cases = {rec.use_case for rec in countries_report.recommendations}
+        assert use_cases == {"query minimization", "knowledge discovery"}
+
+    def test_recommended_thresholds_bound_result_size(self, countries_report):
+        for rec in countries_report.recommendations:
+            assert rec.broad_captures <= 2_000
+            assert rec.h >= 1
+
+    def test_query_minimization_floor_above_knowledge(self, countries_report):
+        by_case = {rec.use_case: rec.h for rec in countries_report.recommendations}
+        assert by_case["query minimization"] >= by_case["knowledge discovery"]
+
+    def test_describe(self, countries_report):
+        text = countries_report.describe()
+        assert "broad captures" in text and "query minimization" in text
+
+    def test_sweep_rows(self, countries_report):
+        rows = countries_report.sweep((1, 10))
+        assert len(rows) == 2 and rows[0][0] == 1
+
+
+class TestRanking:
+    @pytest.fixture(scope="class")
+    def ranked(self):
+        encoded = diseasome(scale=0.15).encode()
+        result = find_pertinent_cinds(encoded, support_threshold=10)
+        return result, rank_cinds(result, encoded)
+
+    def test_every_pertinent_cind_scored(self, ranked):
+        result, ranking = ranked
+        assert len(ranking) == len(result.cinds)
+
+    def test_scores_sorted_descending(self, ranked):
+        _result, ranking = ranked
+        scores = [row.score for row in ranking]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_score_components_in_unit_range(self, ranked):
+        _result, ranking = ranked
+        for row in ranking:
+            assert 0.0 <= row.coverage <= 1.0
+            assert 0.0 <= row.selectivity <= 1.0
+            assert 0.0 <= row.score <= 1.0
+
+    def test_near_universal_references_flagged_spurious(self, ranked):
+        """Inclusions into captures covering ~all subjects carry no
+        information; they must rank at the bottom."""
+        result, ranking = ranked
+        flagged = spurious(ranking)
+        assert flagged
+        rendered = {row.supported.render(result.dictionary) for row in flagged}
+        assert any("⊆ (s, p=rdf:type)" in line for line in rendered)
+
+    def test_selective_inclusions_beat_universal_ones(self, ranked):
+        _result, ranking = ranked
+        flagged = set(id(row) for row in spurious(ranking))
+        if flagged and len(ranking) > len(flagged):
+            best_unflagged = next(r for r in ranking if id(r) not in flagged)
+            worst_flagged = max(
+                (r for r in ranking if id(r) in flagged), key=lambda r: r.score
+            )
+            assert best_unflagged.score > worst_flagged.score
+
+    def test_ranking_without_dataset_uses_bounds(self):
+        encoded = random_rdf(900, n_triples=40).encode()
+        result = find_pertinent_cinds(encoded, support_threshold=2)
+        ranking = rank_cinds(result)
+        assert len(ranking) == len(result.cinds)
+
+    def test_limit(self):
+        encoded = random_rdf(901, n_triples=40).encode()
+        result = find_pertinent_cinds(encoded, support_threshold=2)
+        assert len(rank_cinds(result, encoded, limit=3)) == min(3, len(result.cinds))
+
+    def test_empty_result(self):
+        encoded = random_rdf(902, n_triples=5).encode()
+        result = find_pertinent_cinds(encoded, support_threshold=1000)
+        assert rank_cinds(result, encoded) == []
+
+    def test_render(self, ranked):
+        result, ranking = ranked
+        line = ranking[0].render(result.dictionary)
+        assert "score=" in line and "⊆" in line

@@ -1,0 +1,119 @@
+"""Tests for cross-dataset CIND discovery (data-integration use case)."""
+
+import pytest
+
+from repro.apps.integration import discover_cross_cinds
+from repro.core.cind import Capture
+from repro.core.conditions import UnaryCondition, conditions_of_triple
+from repro.rdf.model import Attr, Dataset, TermDictionary
+from tests.conftest import random_rdf
+
+
+def oracle_cross(left, right, h):
+    """Cross CINDs by definition: interpretations compared pairwise."""
+    from collections import Counter
+
+    dictionary = TermDictionary()
+
+    def interpretations(dataset):
+        encoded = [dictionary.encode_triple(t) for t in dataset]
+        freq = Counter()
+        for triple in encoded:
+            freq.update(conditions_of_triple(triple))
+        out = {}
+        for triple in encoded:
+            for condition in conditions_of_triple(triple):
+                if freq[condition] < h:
+                    continue
+                for attr in Attr:
+                    if attr not in condition.attrs:
+                        out.setdefault(Capture(attr, condition), set()).add(
+                            triple[int(attr)]
+                        )
+        return out
+
+    left_values = interpretations(left)
+    right_values = interpretations(right)
+    found = set()
+    for dep, dep_vals in left_values.items():
+        if len(dep_vals) < h:
+            continue
+        for ref, ref_vals in right_values.items():
+            if dep_vals <= ref_vals:
+                found.add((dep, ref, len(dep_vals)))
+    return found, dictionary
+
+
+class TestAgainstOracle:
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("h", [1, 2])
+    def test_matches_pairwise_oracle(self, seed, h):
+        left = random_rdf(seed + 1500, n_triples=30)
+        right = random_rdf(seed + 1600, n_triples=30)
+        report = discover_cross_cinds(left, right, h=h)
+        want, _dictionary = oracle_cross(left, right, h)
+        got = {(row.dependent, row.referenced, row.support) for row in report.cinds}
+        # both use a fresh shared dictionary built in the same order
+        # (left first), so encoded ids align
+        assert got == want
+
+
+class TestSemantics:
+    def test_planted_join_path(self):
+        left = Dataset.from_tuples(
+            [(f"c{i}", "capital", f"city{i}") for i in range(4)], name="A"
+        )
+        right = Dataset.from_tuples(
+            [(f"city{i}", "rdf:type", "City") for i in range(6)], name="B"
+        )
+        report = discover_cross_cinds(left, right, h=4)
+        rendered = {report.render(row) for row in report.cinds}
+        assert any(
+            "[A] (o, p=capital) ⊆ [B] (s, p=rdf:type)" in line
+            for line in rendered
+        )
+        assert report.join_paths()
+
+    def test_direction_matters(self):
+        left = Dataset.from_tuples([("x", "p", f"v{i}") for i in range(3)], name="A")
+        right = Dataset.from_tuples(
+            [("x", "p", f"v{i}") for i in range(5)], name="B"
+        )
+        forward = discover_cross_cinds(left, right, h=3)
+        backward = discover_cross_cinds(right, left, h=3)
+        f = {(r.dependent, r.referenced) for r in forward.cinds}
+        b = {(r.dependent, r.referenced) for r in backward.cinds}
+        # A's objects ⊆ B's objects, but not vice versa
+        obj_capture = lambda: None  # readability only
+        assert any(d.attr is Attr.O and r.attr is Attr.O for d, r in f)
+        assert not any(d.attr is Attr.O and r.attr is Attr.O for d, r in b)
+
+    def test_support_threshold(self):
+        left = Dataset.from_tuples([("a", "p", "x"), ("b", "p", "x")], name="A")
+        right = Dataset.from_tuples(
+            [("a", "q", "y"), ("b", "q", "y"), ("c", "q", "y")], name="B"
+        )
+        low = discover_cross_cinds(left, right, h=2)
+        assert all(row.support >= 2 for row in low.cinds)
+        high = discover_cross_cinds(left, right, h=3)
+        assert high.cinds == []
+
+    def test_shared_dictionary_aligns_terms(self):
+        dictionary = TermDictionary()
+        left = Dataset.from_tuples([("e", "p", "x"), ("f", "p", "x")], name="A")
+        right = Dataset.from_tuples([("e", "q", "z"), ("f", "q", "z")], name="B")
+        report = discover_cross_cinds(left, right, h=2, dictionary=dictionary)
+        rendered = {report.render(row) for row in report.cinds}
+        assert any(
+            "[A] (s, p=p) ⊆ [B] (s, p=q)" in line for line in rendered
+        )
+
+    def test_describe(self):
+        left = Dataset.from_tuples([("a", "p", "x"), ("b", "p", "x")], name="A")
+        right = Dataset.from_tuples([("a", "q", "y"), ("b", "q", "y")], name="B")
+        report = discover_cross_cinds(left, right, h=2)
+        assert "cross-dataset CINDs" in report.describe()
+
+    def test_h_validated(self):
+        with pytest.raises(ValueError):
+            discover_cross_cinds(Dataset(), Dataset(), h=0)

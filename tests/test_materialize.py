@@ -1,0 +1,111 @@
+"""Tests for ontology materialization."""
+
+import pytest
+
+from repro.apps.materialize import materialize_ontology, subclass_closure
+from repro.apps.ontology import OntologyHint
+from repro.rdf.model import Triple
+from repro.rdf.namespaces import OWL, RDF, RDFS
+from repro.rdf.ntriples import parse_ntriples, serialize_ntriples
+
+
+def hint(kind, subject, obj, support=10):
+    return OntologyHint(kind, subject, obj, support)
+
+
+class TestMaterialization:
+    def test_each_kind_maps_to_its_vocabulary(self):
+        ontology = materialize_ontology(
+            [
+                hint("subclass", "Frog", "Amphibian"),
+                hint("subproperty", "band", "artist"),
+                hint("domain", "capital", "Country"),
+                hint("range", "capital", "City"),
+                hint("class", "Country", "rdf:type"),
+            ]
+        )
+        assert Triple("Frog", RDFS.subClassOf, "Amphibian") in ontology
+        assert Triple("band", RDFS.subPropertyOf, "artist") in ontology
+        assert Triple("capital", RDFS.domain, "Country") in ontology
+        assert Triple("capital", RDFS.range, "City") in ontology
+        assert Triple("Country", RDF.type, RDFS.Class) in ontology
+
+    def test_mutual_subclasses_collapse_to_equivalence(self):
+        ontology = materialize_ontology(
+            [
+                hint("subclass", "Race", "GrandPrix"),
+                hint("subclass", "GrandPrix", "Race"),
+            ]
+        )
+        assert Triple("GrandPrix", OWL.equivalentClass, "Race") in ontology
+        assert not any(t.p == RDFS.subClassOf for t in ontology)
+
+    def test_collapse_can_be_disabled(self):
+        ontology = materialize_ontology(
+            [
+                hint("subclass", "Race", "GrandPrix"),
+                hint("subclass", "GrandPrix", "Race"),
+            ],
+            collapse_equivalences=False,
+        )
+        assert sum(1 for t in ontology if t.p == RDFS.subClassOf) == 2
+
+    def test_min_support_filters(self):
+        ontology = materialize_ontology(
+            [hint("subclass", "A", "B", support=3)], min_support=5
+        )
+        assert len(ontology) == 0
+
+    def test_duplicate_class_hints_deduplicated(self):
+        ontology = materialize_ontology(
+            [hint("class", "C", "rdf:type"), hint("class", "C", "typeOf")]
+        )
+        assert len(ontology) == 1
+
+    def test_serializes_as_ntriples(self):
+        ontology = materialize_ontology([hint("subclass", "Frog", "Amphibian")])
+        text = serialize_ntriples(ontology)
+        reparsed = list(parse_ntriples(text))
+        assert reparsed == list(ontology)
+
+
+class TestClosure:
+    def test_transitive_ancestors(self):
+        ontology = materialize_ontology(
+            [
+                hint("subclass", "Leptodactylidae", "Frog"),
+                hint("subclass", "Frog", "Amphibian"),
+                hint("subclass", "Amphibian", "Animal"),
+            ]
+        )
+        closure = subclass_closure(ontology)
+        assert closure["Leptodactylidae"] == {"Frog", "Amphibian", "Animal"}
+        assert closure["Frog"] == {"Amphibian", "Animal"}
+
+    def test_cycle_detection(self):
+        ontology = materialize_ontology(
+            [
+                hint("subclass", "A", "B"),
+                hint("subclass", "B", "C"),
+                hint("subclass", "C", "A"),
+            ],
+            collapse_equivalences=True,  # 3-cycle is not a mutual pair
+        )
+        with pytest.raises(ValueError):
+            subclass_closure(ontology)
+
+
+class TestEndToEnd:
+    def test_discovered_hints_materialize(self):
+        from repro.apps import reverse_engineer_ontology
+        from repro.core.discovery import find_pertinent_cinds
+        from repro.datasets import db14_mpce
+
+        result = find_pertinent_cinds(
+            db14_mpce(scale=0.15).encode(), support_threshold=10
+        )
+        hints = reverse_engineer_ontology(result, min_support=10)
+        ontology = materialize_ontology(hints)
+        assert Triple("Leptodactylidae", RDFS.subClassOf, "Frog") in ontology
+        closure = subclass_closure(ontology)
+        assert "Frog" in closure.get("Leptodactylidae", set())

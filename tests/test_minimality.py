@@ -1,0 +1,130 @@
+"""Tests for the broad-to-pertinent minimality consolidation."""
+
+import pytest
+
+from repro.core.cind import CIND, Capture
+from repro.core.conditions import BinaryCondition, UnaryCondition
+from repro.core.minimality import broad_cind_list, consolidate_pertinent
+from repro.core.validation import NaiveProfiler
+from repro.rdf.model import Attr
+from tests.conftest import random_rdf
+
+
+def s_unary(attr, value):
+    return Capture(Attr.S, UnaryCondition(attr, value))
+
+
+def s_binary(v1, v2):
+    return Capture(Attr.S, BinaryCondition.make(Attr.P, v1, Attr.O, v2))
+
+
+def adjacency(*cinds_with_support):
+    """Build the extractor's adjacency form from (dep, ref, support) rows."""
+    broad = {}
+    for dependent, referenced, support in cinds_with_support:
+        refs, _support = broad.get(dependent, (frozenset(), support))
+        broad[dependent] = (refs | {referenced}, support)
+    return broad
+
+
+class TestImplicationRules:
+    def test_dependent_implication_removes_tighter_cind(self):
+        """Figure 1: ψ1 minimal, ψ3 implied by it via dependent implication."""
+        ref = s_unary(Attr.O, 99)
+        unary_dep = s_unary(Attr.P, 1)
+        binary_dep = s_binary(1, 2)
+        broad = adjacency(
+            (unary_dep, ref, 5),
+            (binary_dep, ref, 3),
+        )
+        pertinent = {sc.cind for sc in consolidate_pertinent(broad)}
+        assert CIND(unary_dep, ref) in pertinent
+        assert CIND(binary_dep, ref) not in pertinent
+
+    def test_referenced_implication_removes_looser_cind(self):
+        dep = s_unary(Attr.O, 99)
+        unary_ref = s_unary(Attr.P, 1)
+        binary_ref = s_binary(1, 2)
+        broad = adjacency(
+            (dep, binary_ref, 4),
+            (dep, unary_ref, 4),
+        )
+        pertinent = {sc.cind for sc in consolidate_pertinent(broad)}
+        assert CIND(dep, binary_ref) in pertinent
+        assert CIND(dep, unary_ref) not in pertinent
+
+    def test_unrelated_cinds_all_survive(self):
+        broad = adjacency(
+            (s_unary(Attr.P, 1), s_unary(Attr.P, 2), 5),
+            (s_unary(Attr.P, 2), s_unary(Attr.O, 3), 4),
+        )
+        assert len(consolidate_pertinent(broad)) == 2
+
+    def test_trivial_cinds_dropped(self):
+        binary = s_binary(1, 2)
+        relaxation = s_unary(Attr.P, 1)
+        broad = adjacency((binary, relaxation, 3))
+        assert consolidate_pertinent(broad) == []
+
+    def test_psi_1_2_always_minimal(self):
+        """Unary dependent + binary referenced cannot be implied."""
+        broad = adjacency((s_unary(Attr.O, 7), s_binary(1, 2), 3))
+        assert len(consolidate_pertinent(broad)) == 1
+
+    def test_chain_of_implications(self):
+        """ψ2:1 implied through both available one-step impliers."""
+        ref_unary = s_unary(Attr.P, 9)
+        ref_binary = Capture(Attr.S, BinaryCondition.make(Attr.P, 9, Attr.O, 8))
+        dep_unary = s_unary(Attr.O, 1)
+        dep_binary = Capture(Attr.S, BinaryCondition.make(Attr.O, 1, Attr.P, 2))
+        broad = adjacency(
+            (dep_unary, ref_binary, 5),   # Ψ1:2 — minimal
+            (dep_unary, ref_unary, 5),    # Ψ1:1 — implied by the Ψ1:2
+            (dep_binary, ref_binary, 3),  # Ψ2:2 — implied by the Ψ1:2
+            (dep_binary, ref_unary, 3),   # Ψ2:1 — implied twice over
+        )
+        pertinent = {sc.cind for sc in consolidate_pertinent(broad)}
+        assert pertinent == {CIND(dep_unary, ref_binary)}
+
+    def test_support_carried_through(self):
+        broad = adjacency((s_unary(Attr.P, 1), s_unary(Attr.P, 2), 17))
+        (row,) = consolidate_pertinent(broad)
+        assert row.support == 17
+
+
+class TestAgainstOracle:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("h", [1, 2])
+    def test_matches_naive_minimality(self, seed, h):
+        encoded = random_rdf(seed + 150, n_triples=35).encode()
+        profiler = NaiveProfiler(encoded)
+        broad = profiler.broad_cinds(h)
+        # convert the oracle's flat dict into the adjacency form
+        adjacency_form = {}
+        for cind, support in broad.items():
+            refs, _support = adjacency_form.get(
+                cind.dependent, (frozenset(), support)
+            )
+            adjacency_form[cind.dependent] = (refs | {cind.referenced}, support)
+        got = {(sc.cind, sc.support) for sc in consolidate_pertinent(adjacency_form)}
+        want = {(sc.cind, sc.support) for sc in profiler.pertinent_cinds(h)}
+        assert got == want
+
+
+class TestBroadList:
+    def test_flattening_drops_trivial(self):
+        binary = s_binary(1, 2)
+        broad = adjacency(
+            (binary, s_unary(Attr.P, 1), 3),  # trivial
+            (binary, s_unary(Attr.S, 9), 3),  # impossible projection but non-trivial
+        )
+        rows = broad_cind_list(broad)
+        assert len(rows) == 1
+
+    def test_sorted_by_support_desc(self):
+        broad = adjacency(
+            (s_unary(Attr.P, 1), s_unary(Attr.P, 2), 2),
+            (s_unary(Attr.P, 3), s_unary(Attr.P, 4), 9),
+        )
+        rows = broad_cind_list(broad)
+        assert [row.support for row in rows] == [9, 2]

@@ -1,0 +1,75 @@
+"""Tests for namespaces and CURIE handling."""
+
+from repro.rdf.namespaces import (
+    FOAF,
+    RDF,
+    RDFS,
+    Namespace,
+    NamespaceManager,
+)
+
+
+class TestNamespace:
+    def test_attribute_access_mints_terms(self):
+        ex = Namespace("http://example.org/")
+        assert ex.thing == "http://example.org/thing"
+
+    def test_item_access_allows_any_local_name(self):
+        ex = Namespace("http://example.org/")
+        assert ex["odd name"] == "http://example.org/odd name"
+
+    def test_contains(self):
+        ex = Namespace("http://example.org/")
+        assert ex.thing in ex
+        assert "http://other.org/x" not in ex
+
+    def test_dunder_attributes_not_minted(self):
+        ex = Namespace("http://example.org/")
+        try:
+            ex.__wrapped__
+        except AttributeError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("dunder access should raise")
+
+    def test_well_known_namespaces(self):
+        assert RDF.type.endswith("#type")
+        assert RDFS.subClassOf.endswith("#subClassOf")
+        assert FOAF.Person.endswith("/Person")
+
+
+class TestNamespaceManager:
+    def test_expand_known_prefix(self):
+        manager = NamespaceManager()
+        assert manager.expand("rdf:type") == RDF.type
+
+    def test_expand_unknown_prefix_returns_input(self):
+        manager = NamespaceManager()
+        assert manager.expand("zzz:thing") == "zzz:thing"
+
+    def test_expand_without_colon_returns_input(self):
+        manager = NamespaceManager()
+        assert manager.expand("plain") == "plain"
+
+    def test_compact_picks_longest_match(self):
+        manager = NamespaceManager({"ex": "http://ex/", "exsub": "http://ex/sub/"})
+        assert manager.compact("http://ex/sub/x") == "exsub:x"
+
+    def test_compact_unknown_returns_input(self):
+        manager = NamespaceManager()
+        assert manager.compact("http://nowhere/x") == "http://nowhere/x"
+
+    def test_bind_and_roundtrip(self):
+        manager = NamespaceManager()
+        manager.bind("ex", "http://example.org/")
+        uri = manager.expand("ex:item")
+        assert manager.compact(uri) == "ex:item"
+
+    def test_extra_bindings_via_constructor(self):
+        manager = NamespaceManager({"ex": "http://example.org/"})
+        assert manager.expand("ex:a") == "http://example.org/a"
+
+    def test_iteration_lists_bindings(self):
+        manager = NamespaceManager()
+        prefixes = dict(manager)
+        assert "rdf" in prefixes

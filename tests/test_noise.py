@@ -1,0 +1,109 @@
+"""Tests for violation injection and the exactness semantics of CINDs."""
+
+import pytest
+
+from repro.core.cind import decode_cind
+from repro.core.discovery import find_pertinent_cinds
+from repro.core.validation import NaiveProfiler
+from repro.datasets.noise import corrupt, erosion_curve, violating_triple
+from repro.rdf.model import Dataset
+from tests.conftest import random_rdf
+
+
+class TestViolatingTriple:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_injection_kills_the_targeted_cind(self, seed):
+        """For every discovered CIND, the constructed triple breaks it."""
+        dataset = random_rdf(seed + 1300, n_triples=40)
+        encoded = dataset.encode()
+        result = find_pertinent_cinds(encoded, support_threshold=2)
+        for supported in result.cinds[:10]:
+            decoded = decode_cind(supported.cind, result.dictionary)
+            adverse = violating_triple(dataset, decoded, fresh_term=f"fresh{seed}")
+            assert adverse is not None
+            poisoned = Dataset(dataset)
+            poisoned.add(adverse)
+            profiler = NaiveProfiler(poisoned.encode())
+            # re-resolve the CIND on the poisoned dataset's dictionary
+            from repro.core.cind import CIND, Capture
+            from repro.core.conditions import BinaryCondition, UnaryCondition
+
+            def encode_condition(condition, dictionary):
+                if isinstance(condition, UnaryCondition):
+                    return UnaryCondition(
+                        condition.attr, dictionary.encode(condition.value)
+                    )
+                return BinaryCondition(
+                    condition.attr1,
+                    dictionary.encode(condition.value1),
+                    condition.attr2,
+                    dictionary.encode(condition.value2),
+                )
+
+            dictionary = profiler.dataset.dictionary
+            reencoded = CIND(
+                Capture(
+                    decoded.dependent.attr,
+                    encode_condition(decoded.dependent.condition, dictionary),
+                ),
+                Capture(
+                    decoded.referenced.attr,
+                    encode_condition(decoded.referenced.condition, dictionary),
+                ),
+            )
+            assert not profiler.is_valid(reencoded)
+
+    def test_trivial_cind_cannot_be_violated(self):
+        from repro.core.cind import CIND, Capture
+        from repro.core.conditions import BinaryCondition, UnaryCondition
+        from repro.rdf.model import Attr
+
+        trivial = CIND(
+            Capture(Attr.S, BinaryCondition.make(Attr.P, "a", Attr.O, "b")),
+            Capture(Attr.S, UnaryCondition(Attr.P, "a")),
+        )
+        assert violating_triple(Dataset(), trivial) is None
+
+    def test_existing_fresh_term_refused(self):
+        from repro.core.cind import CIND, Capture
+        from repro.core.conditions import UnaryCondition
+        from repro.rdf.model import Attr
+
+        dataset = Dataset.from_tuples([("x", "p", "o"), ("x", "q", "o")])
+        cind = CIND(
+            Capture(Attr.S, UnaryCondition(Attr.P, "p")),
+            Capture(Attr.S, UnaryCondition(Attr.P, "q")),
+        )
+        assert violating_triple(dataset, cind, fresh_term="x") is None
+
+
+class TestCorruption:
+    def test_noise_is_additive(self):
+        dataset = random_rdf(1400, n_triples=50)
+        noisy = corrupt(dataset, fraction=0.1, seed=1)
+        assert set(dataset) <= set(noisy)
+        assert len(noisy) > len(dataset)
+
+    def test_zero_fraction_is_identity(self):
+        dataset = random_rdf(1401, n_triples=30)
+        assert corrupt(dataset, fraction=0.0) == dataset
+
+    def test_deterministic(self):
+        dataset = random_rdf(1402, n_triples=30)
+        assert corrupt(dataset, 0.2, seed=5) == corrupt(dataset, 0.2, seed=5)
+
+    def test_fraction_validated(self):
+        with pytest.raises(ValueError):
+            corrupt(Dataset(), fraction=1.5)
+
+
+class TestErosion:
+    def test_cinds_erode_under_noise(self):
+        """Exact constraints must not *gain* from additive noise."""
+        from repro.datasets import countries
+
+        dataset = countries(scale=0.3)
+        curve = erosion_curve(dataset, h=10, fractions=(0.0, 0.1), seed=3)
+        clean_count = curve[0][1]
+        noisy_count = curve[1][1]
+        assert noisy_count <= clean_count

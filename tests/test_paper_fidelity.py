@@ -1,0 +1,197 @@
+"""Paper fidelity: every concrete claim of the paper as an assertion.
+
+Each test quotes (in its docstring) the statement of the paper it checks,
+on the exact data the paper uses where possible (Table 1) or on the
+synthetic stand-in of the dataset it references.
+"""
+
+import pytest
+
+from repro.core.cind import CIND, Capture
+from repro.core.conditions import BinaryCondition, UnaryCondition
+from repro.core.discovery import RDFind, RDFindConfig, find_pertinent_cinds
+from repro.core.validation import NaiveProfiler
+from repro.datasets import diseasome, table1
+from repro.rdf.model import Attr
+
+
+@pytest.fixture(scope="module")
+def t1():
+    return table1().encode()
+
+
+def cap(dictionary, attr, *constraints):
+    if len(constraints) == 1:
+        ((c_attr, term),) = constraints
+        condition = UnaryCondition(c_attr, dictionary.encode_existing(term))
+    else:
+        (a1, v1), (a2, v2) = constraints
+        condition = BinaryCondition.make(
+            a1, dictionary.encode_existing(v1), a2, dictionary.encode_existing(v2)
+        )
+    return Capture(attr, condition)
+
+
+class TestSection1And2Examples:
+    def test_example_1(self, t1):
+        """§1 Example 1: "the graduate students patrick and mike form a
+        subset of people with an undergraduate degree, namely patrick,
+        tim, and mike."""
+        profiler = NaiveProfiler(t1)
+        d = t1.dictionary
+        grads = profiler.interpretation(
+            cap(d, Attr.S, (Attr.P, "rdf:type"), (Attr.O, "gradStudent"))
+        )
+        degreed = profiler.interpretation(cap(d, Attr.S, (Attr.P, "undergradFrom")))
+        assert {d.decode(v) for v in grads} == {"patrick", "mike"}
+        assert {d.decode(v) for v in degreed} == {"patrick", "mike", "tim"}
+        assert grads < degreed
+
+    def test_example_2(self, t1):
+        """§2 Example 2: the binary condition p=rdf:type ∧ o=gradStudent
+        holds for triples t1 and t2; the capture (s, φ) interprets to
+        {patrick, mike}."""
+        d = t1.dictionary
+        condition = BinaryCondition.make(
+            Attr.P, d.encode_existing("rdf:type"),
+            Attr.O, d.encode_existing("gradStudent"),
+        )
+        matching = [t for t in t1 if condition.matches(t)]
+        assert len(matching) == 2
+        values = NaiveProfiler(t1).interpretation(Capture(Attr.S, condition))
+        assert {d.decode(v) for v in values} == {"patrick", "mike"}
+
+    def test_example_3(self, t1):
+        """§2 Example 3: (s, p=rdf:type ∧ o=gradStudent) ⊆
+        (s, p=undergradFrom) is a valid CIND for Table 1."""
+        d = t1.dictionary
+        cind = CIND(
+            cap(d, Attr.S, (Attr.P, "rdf:type"), (Attr.O, "gradStudent")),
+            cap(d, Attr.S, (Attr.P, "undergradFrom")),
+        )
+        profiler = NaiveProfiler(t1)
+        assert profiler.is_valid(cind)
+        assert profiler.support(cind) == 2
+
+
+class TestSection3Examples:
+    def test_figure_1_implication_chain(self, t1):
+        """§3.1 / Figure 1: ψ1 = (s, p=memberOf ∧ o=csd) ⊆ (s, p=rdf:type
+        ∧ o=gradStudent) implies ψ2, ψ3, which imply ψ4 = (s, p=memberOf)
+        ⊆ (s, p=rdf:type); all four are valid on Table 1."""
+        d = t1.dictionary
+        profiler = NaiveProfiler(t1)
+        psi1 = CIND(
+            cap(d, Attr.S, (Attr.P, "memberOf"), (Attr.O, "csd")),
+            cap(d, Attr.S, (Attr.P, "rdf:type"), (Attr.O, "gradStudent")),
+        )
+        psi2 = CIND(psi1.dependent, cap(d, Attr.S, (Attr.P, "rdf:type")))
+        psi3 = CIND(cap(d, Attr.S, (Attr.P, "memberOf")), psi1.referenced)
+        psi4 = CIND(psi3.dependent, psi2.referenced)
+        for psi in (psi1, psi2, psi3, psi4):
+            assert profiler.is_valid(psi)
+
+    def test_figure_1_only_psi4_like_forms_are_minimal(self, t1):
+        """§3.1: among Figure 1's CINDs only the one that can be neither
+        dependent-relaxed nor referenced-tightened is minimal.  In the
+        discovered result at h=2, (s, p=memberOf) ⊆ ... appears only with
+        its most-relaxed dependent."""
+        result = find_pertinent_cinds(t1, support_threshold=2)
+        rendered = set(result.render_cinds())
+        assert "(s, p=memberOf) ⊆ (s, p=rdf:type)  [support=2]" in rendered
+        # the dependent-tightened variants are implied, hence absent
+        assert not any("p=memberOf ∧" in line for line in rendered)
+
+    def test_example_5_support_one(self, t1):
+        """§3.1 Example 5: (s, p=memberOf ∧ o=csd) ⊆ (s, p=undergradFrom
+        ∧ o=hpi) has support 1 — it pertains only to patrick."""
+        d = t1.dictionary
+        cind = CIND(
+            cap(d, Attr.S, (Attr.P, "memberOf"), (Attr.O, "csd")),
+            cap(d, Attr.S, (Attr.P, "undergradFrom"), (Attr.O, "hpi")),
+        )
+        profiler = NaiveProfiler(t1)
+        assert profiler.is_valid(cind)
+        assert profiler.support(cind) == 1
+
+    def test_section_3_2_ar_and_implied_cind(self, t1):
+        """§3.2: the AR o=gradStudent → p=rdf:type holds in Table 1 and
+        implies the CIND (s, o=gradStudent) ⊆ (s, p=rdf:type ∧
+        o=gradStudent); the inverse implication is not necessarily true."""
+        d = t1.dictionary
+        profiler = NaiveProfiler(t1)
+        rules = {
+            (sa.rule.render(d), sa.support)
+            for sa in profiler.association_rules(2)
+        }
+        assert ("o=gradStudent → p=rdf:type", 2) in rules
+        implied = CIND(
+            cap(d, Attr.S, (Attr.O, "gradStudent")),
+            cap(d, Attr.S, (Attr.P, "rdf:type"), (Attr.O, "gradStudent")),
+        )
+        assert profiler.is_valid(implied)
+        assert profiler.support(implied) == 2
+
+    def test_section_5_1_equivalence_pruning(self, t1):
+        """§5.1: an AR β=v1 → γ=v2 makes (α, β=v1 ∧ γ=v2) equal in extent
+        to (α, β=v1) — the reverse inclusion "trivially holds"."""
+        d = t1.dictionary
+        profiler = NaiveProfiler(t1)
+        unary = cap(d, Attr.S, (Attr.O, "gradStudent"))
+        binary = cap(d, Attr.S, (Attr.P, "rdf:type"), (Attr.O, "gradStudent"))
+        assert profiler.interpretation(unary) == profiler.interpretation(binary)
+        assert CIND(binary, unary).is_trivial()
+
+
+class TestSection6Example:
+    def test_capture_group_of_patrick_at_h3(self, t1):
+        """§6.1: "for the dataset in Table 1, a support threshold of 3,
+        and the value patrick, we have the capture evidences patrick ∈
+        (s, p=rdf:type) and patrick ∈ (s, p=undergradFrom)"."""
+        from tests.test_capture_groups import build_groups
+
+        d = t1.dictionary
+        groups = {frozenset(g) for g in build_groups(t1, 3)}
+        expected = frozenset(
+            {
+                cap(d, Attr.S, (Attr.P, "rdf:type")),
+                cap(d, Attr.S, (Attr.P, "undergradFrom")),
+            }
+        )
+        assert expected in groups
+
+
+class TestSection8Claims:
+    def test_diseasome_support_distribution(self):
+        """§3.1: "In the aforementioned Diseasome dataset, over 84% of its
+        ... minimal cinds have a support of 1" — the synthetic stand-in
+        must show the same support-1 dominance (checked on a scaled copy,
+        where exhaustive enumeration is feasible)."""
+        encoded = diseasome(scale=0.012).encode()
+        profiler = NaiveProfiler(encoded)
+        minimal = profiler.pertinent_cinds(1)
+        share_one = sum(1 for sc in minimal if sc.support == 1) / len(minimal)
+        assert share_one > 0.5
+
+    def test_predicate_projections_rarely_meaningful(self):
+        """§8.3: the experiments "rarely showed meaningful cinds on
+        predicates" — predicate-projected CINDs are a small minority of
+        the full-scope result on the Diseasome stand-in."""
+        result = find_pertinent_cinds(
+            diseasome(scale=0.3).encode(), support_threshold=25
+        )
+        predicate_projected = [
+            sc for sc in result.cinds if sc.cind.dependent.attr is Attr.P
+        ]
+        assert len(predicate_projected) < len(result.cinds) * 0.25
+
+    def test_theorem_1_broad_cinds_from_groups(self, t1):
+        """Theorem 1: every valid CIND with support >= h is extracted
+        from the capture groups — i.e. the pipeline's broad set equals
+        the oracle's broad set (spot-checked here; the discovery suite
+        fuzzes this across many datasets)."""
+        config = RDFindConfig(support_threshold=2, keep_broad_cinds=True)
+        result = RDFind(config).discover(t1)
+        got = {(sc.cind, sc.support) for sc in result.broad_cinds}
+        want = set(NaiveProfiler(t1).broad_cinds(2).items())
+        assert got == want

@@ -1,0 +1,51 @@
+"""Tests for the one-shot dataset profiling report."""
+
+import pytest
+
+from repro.apps import profile_dataset
+from repro.datasets import countries
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return profile_dataset(countries(scale=0.25).encode())
+
+
+class TestProfileReport:
+    def test_shape_statistics(self, profile):
+        assert profile.triples > 0
+        assert set(profile.distinct_terms) == {"s", "p", "o"}
+        assert all(count > 0 for count in profile.distinct_terms.values())
+
+    def test_uses_advisor_recommendation_by_default(self, profile):
+        recommended = next(
+            rec.h
+            for rec in profile.threshold_report.recommendations
+            if rec.use_case == "knowledge discovery"
+        )
+        assert profile.chosen_h == recommended
+
+    def test_explicit_h_override(self):
+        explicit = profile_dataset(countries(scale=0.1).encode(), h=3)
+        assert explicit.chosen_h == 3
+        assert explicit.discovery.support_threshold == 3
+
+    def test_all_sections_populated(self, profile):
+        assert profile.discovery.cinds
+        assert profile.ranking
+        assert profile.ontology_hints
+        assert len(profile.ranking) == len(profile.discovery.cinds)
+
+    def test_describe_renders_everything(self, profile):
+        text = profile.describe(limit=3)
+        for marker in (
+            "profile of", "support-threshold analysis", "discovery at h=",
+            "most meaningful CINDs", "ontology hints",
+        ):
+            assert marker in text
+
+    def test_min_support_respected_in_apps(self, profile):
+        for hint in profile.ontology_hints:
+            assert hint.support >= profile.chosen_h
+        for fact in profile.knowledge_facts:
+            assert fact.support >= profile.chosen_h

@@ -1,0 +1,86 @@
+"""Tests for discovery-result JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.core.cind import decode_cind, decode_condition
+from repro.core.discovery import find_pertinent_cinds
+from repro.core.serialization import (
+    dump_result,
+    load_result,
+    parse_result_dict,
+    result_to_dict,
+)
+from repro.sparql import QueryMinimizer, lubm_q2
+from tests.conftest import random_rdf
+
+
+@pytest.fixture(scope="module")
+def result():
+    return find_pertinent_cinds(random_rdf(990, n_triples=45).encode(), support_threshold=2)
+
+
+class TestRoundtrip:
+    def test_header_fields(self, result):
+        payload = result_to_dict(result)
+        assert payload["format"] == "rdfind-result"
+        assert payload["support_threshold"] == 2
+        assert payload["variant"] == "RDFind"
+
+    def test_cinds_roundtrip_decoded(self, result):
+        cinds, rules, h = parse_result_dict(result_to_dict(result))
+        assert h == 2
+        dictionary = result.dictionary
+        expected_cinds = {
+            (decode_cind(sc.cind, dictionary), sc.support) for sc in result.cinds
+        }
+        assert {(sc.cind, sc.support) for sc in cinds} == expected_cinds
+        expected_rules = {
+            (
+                decode_condition(sa.rule.lhs, dictionary),
+                decode_condition(sa.rule.rhs, dictionary),
+                sa.support,
+            )
+            for sa in result.association_rules
+        }
+        assert {
+            (sa.rule.lhs, sa.rule.rhs, sa.support) for sa in rules
+        } == expected_rules
+
+    def test_file_roundtrip(self, result, tmp_path):
+        path = tmp_path / "result.json"
+        dump_result(result, path)
+        cinds, rules, h = load_result(path)
+        assert len(cinds) == len(result.cinds)
+        assert len(rules) == len(result.association_rules)
+        assert h == 2
+        # the document must be plain JSON
+        with open(path, encoding="utf-8") as handle:
+            assert json.load(handle)["format"] == "rdfind-result"
+
+    def test_rejects_foreign_documents(self):
+        with pytest.raises(ValueError):
+            parse_result_dict({"format": "something-else"})
+        with pytest.raises(ValueError):
+            parse_result_dict({"format": "rdfind-result", "version": 99})
+
+
+class TestReuseInMinimizer:
+    def test_loaded_result_drives_the_minimizer(self, tmp_path):
+        """Discover once, save, reload, minimize — the advertised flow."""
+        from repro.datasets import lubm
+        from repro.core.cind import AssociationRule
+
+        dataset = lubm(scale=0.25)
+        result = find_pertinent_cinds(dataset.encode(), support_threshold=5)
+        path = tmp_path / "lubm-cinds.json"
+        dump_result(result, path)
+
+        cinds, rules, _h = load_result(path)
+        minimizer = QueryMinimizer(
+            (sc.cind for sc in cinds),
+            (AssociationRule(sa.rule.lhs, sa.rule.rhs) for sa in rules),
+        )
+        report = minimizer.minimize(lubm_q2())
+        assert len(report.minimized.patterns) == 3

@@ -1,0 +1,64 @@
+"""Tests for the SINDY-style plain IND discovery baseline."""
+
+import pytest
+
+from repro.baselines import IND, discover_inds
+from repro.rdf.model import ALL_ATTRS, Attr, Dataset
+from tests.conftest import random_rdf
+
+
+def naive_inds(dataset):
+    """INDs by definition: distinct-value containment per attribute pair."""
+    values = {attr: dataset.distinct_values(attr) for attr in ALL_ATTRS}
+    found = set()
+    for dependent in ALL_ATTRS:
+        for referenced in ALL_ATTRS:
+            if dependent != referenced and values[dependent] <= values[referenced]:
+                found.add(IND(dependent, referenced))
+    return found
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("parallelism", [1, 3])
+    def test_matches_definition(self, seed, parallelism):
+        dataset = random_rdf(seed + 800, n_triples=40)
+        result = discover_inds(dataset.encode(), parallelism=parallelism)
+        assert set(result.inds) == naive_inds(dataset)
+
+    def test_exact_ind_on_planted_containment(self):
+        rows = [("a", "p", "x"), ("b", "p", "a"), ("x", "p", "b")]
+        # subjects {a,b,x}; objects {x,a,b} — mutual containment
+        result = discover_inds(Dataset.from_tuples(rows).encode())
+        assert IND(Attr.S, Attr.O) in result.inds
+        assert IND(Attr.O, Attr.S) in result.inds
+
+    def test_no_inds_on_disjoint_vocabularies(self, table1_encoded):
+        """Table 1's s/p/o vocabularies are disjoint: no plain INDs —
+        the paper's Section 1 motivation for CINDs."""
+        result = discover_inds(table1_encoded)
+        assert result.inds == []
+
+    def test_partial_overlaps_in_unit_range(self):
+        dataset = random_rdf(820, n_triples=50)
+        result = discover_inds(dataset.encode())
+        for ind, ratio in result.partial_overlaps.items():
+            assert 0.0 < ratio <= 1.0
+            if ratio == 1.0:
+                assert ind in result.inds
+
+    def test_partial_overlap_values(self):
+        rows = [("a", "p", "a"), ("b", "p", "x")]
+        result = discover_inds(Dataset.from_tuples(rows).encode())
+        # subjects {a,b}: 'a' appears among objects {a,x} -> 1/2 covered
+        assert result.partial_overlaps[IND(Attr.S, Attr.O)] == pytest.approx(0.5)
+
+    def test_render(self):
+        dataset = random_rdf(821, n_triples=30)
+        result = discover_inds(dataset.encode())
+        lines = result.render()
+        assert all("⊆" in line for line in lines)
+
+    def test_accepts_string_dataset(self):
+        result = discover_inds(Dataset.from_tuples([("a", "b", "c")]))
+        assert result.elapsed_seconds >= 0

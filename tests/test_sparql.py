@@ -1,0 +1,263 @@
+"""Tests for the SPARQL algebra, executor, and CIND-based minimizer."""
+
+import itertools
+
+import pytest
+
+from repro.core.discovery import find_pertinent_cinds
+from repro.datasets import lubm
+from repro.rdf.model import Dataset, Triple
+from repro.rdf.store import TripleStore
+from repro.sparql import (
+    BGPQuery,
+    QueryMinimizer,
+    TriplePattern,
+    Var,
+    evaluate,
+    lubm_q1,
+    lubm_q2,
+)
+
+X, Y, Z = Var("x"), Var("y"), Var("z")
+
+
+@pytest.fixture
+def store(table1_dataset):
+    return TripleStore.from_dataset(table1_dataset)
+
+
+class TestAlgebra:
+    def test_variables_and_constants(self):
+        pattern = TriplePattern(X, "rdf:type", "gradStudent")
+        assert pattern.variables() == {X}
+        assert set(pattern.constants().values()) == {"rdf:type", "gradStudent"}
+
+    def test_bind(self):
+        pattern = TriplePattern(X, "rdf:type", Y)
+        binding = pattern.bind(Triple("patrick", "rdf:type", "gradStudent"))
+        assert binding == {X: "patrick", Y: "gradStudent"}
+        assert pattern.bind(Triple("patrick", "memberOf", "csd")) is None
+
+    def test_repeated_variable_must_agree(self):
+        pattern = TriplePattern(X, "knows", X)
+        assert pattern.bind(Triple("a", "knows", "a")) == {X: "a"}
+        assert pattern.bind(Triple("a", "knows", "b")) is None
+
+    def test_query_validates_projection(self):
+        with pytest.raises(ValueError):
+            BGPQuery([Y], [TriplePattern(X, "p", "o")])
+        with pytest.raises(ValueError):
+            BGPQuery([X], [])
+
+    def test_without_pattern(self):
+        query = BGPQuery(
+            [X],
+            [TriplePattern(X, "a", "b"), TriplePattern(X, "c", "d")],
+        )
+        shrunk = query.without_pattern(1)
+        assert len(shrunk.patterns) == 1
+        assert shrunk.join_count == 0
+
+    def test_str_rendering(self):
+        query = BGPQuery([X], [TriplePattern(X, "p", "o")])
+        assert str(query) == "SELECT ?x WHERE { ?x p o . }"
+
+    def test_query_equality_ignores_pattern_order(self):
+        a = BGPQuery([X], [TriplePattern(X, "a", "b"), TriplePattern(X, "c", "d")])
+        b = BGPQuery([X], [TriplePattern(X, "c", "d"), TriplePattern(X, "a", "b")])
+        assert a == b
+
+
+def naive_evaluate(dataset, query):
+    """Reference BGP evaluation: try every triple assignment."""
+    triples = list(dataset)
+    results = set()
+    for assignment in itertools.product(triples, repeat=len(query.patterns)):
+        bindings = {}
+        ok = True
+        for pattern, triple in zip(query.patterns, assignment):
+            binding = pattern.bind(triple)
+            if binding is None:
+                ok = False
+                break
+            for var, value in binding.items():
+                if bindings.setdefault(var, value) != value:
+                    ok = False
+                    break
+            if not ok:
+                break
+        if ok:
+            results.add(tuple(bindings[var] for var in query.projection))
+    return sorted(results)
+
+
+class TestExecutor:
+    def test_single_pattern(self, store):
+        query = BGPQuery([X], [TriplePattern(X, "rdf:type", "gradStudent")])
+        rows, stats = evaluate(store, query)
+        assert rows == [("mike",), ("patrick",)]
+        assert stats.results == 2
+
+    def test_join_two_patterns(self, store):
+        query = BGPQuery(
+            [X, Y],
+            [
+                TriplePattern(X, "rdf:type", "gradStudent"),
+                TriplePattern(X, "undergradFrom", Y),
+            ],
+        )
+        rows, stats = evaluate(store, query)
+        assert rows == [("mike", "cmu"), ("patrick", "hpi")]
+        assert stats.joins == 1
+
+    def test_empty_result_short_circuits(self, store):
+        query = BGPQuery(
+            [X],
+            [
+                TriplePattern(X, "rdf:type", "professor"),
+                TriplePattern(X, "undergradFrom", Y),
+            ],
+        )
+        rows, _stats = evaluate(store, query)
+        assert rows == []
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_naive_evaluation(self, seed):
+        from tests.conftest import random_rdf
+
+        dataset = random_rdf(seed + 600, n_triples=15)
+        store = TripleStore.from_dataset(dataset)
+        some_term = next(iter(dataset)).p
+        query = BGPQuery(
+            [X, Y],
+            [
+                TriplePattern(X, some_term, Y),
+                TriplePattern(Y, some_term, Z),
+            ],
+        )
+        rows, _stats = evaluate(store, query)
+        assert rows == naive_evaluate(dataset, query)
+
+    def test_stats_describe(self, store):
+        query = BGPQuery([X], [TriplePattern(X, "rdf:type", "gradStudent")])
+        _rows, stats = evaluate(store, query)
+        assert "patterns" in stats.describe()
+
+
+class TestMinimizerUnit:
+    def _minimizer_from(self, rows, h=1):
+        result = find_pertinent_cinds(
+            Dataset.from_tuples(rows).encode(), support_threshold=h
+        )
+        return QueryMinimizer.from_discovery(result)
+
+    def test_sound_removal_on_trivial_inclusion(self):
+        """Even with no discovered CINDs, trivial implications apply."""
+        minimizer = QueryMinimizer()
+        query = BGPQuery(
+            [X],
+            [
+                TriplePattern(X, "p", "a"),       # binary condition p ∧ o
+                TriplePattern(X, "p", Y),         # unary condition p
+            ],
+        )
+        report = minimizer.minimize(query)
+        # (s, p=p ∧ o=a) ⊆ (s, p=p) is trivial, so the *unary* pattern
+        # can be removed when ?y is not needed.
+        assert len(report.minimized.patterns) == 1
+        assert report.minimized.patterns[0] == TriplePattern(X, "p", "a")
+
+    def test_projected_variable_blocks_removal(self):
+        minimizer = QueryMinimizer()
+        query = BGPQuery(
+            [X, Y],
+            [TriplePattern(X, "p", "a"), TriplePattern(X, "p", Y)],
+        )
+        report = minimizer.minimize(query)
+        assert len(report.minimized.patterns) == 2  # ?y is projected
+
+    def test_no_shared_variable_blocks_removal(self):
+        minimizer = QueryMinimizer()
+        query = BGPQuery(
+            [X],
+            [TriplePattern(X, "p", "a"), TriplePattern(Y, "p", "a")],
+        )
+        report = minimizer.minimize(query)
+        assert len(report.minimized.patterns) == 2
+
+    def test_removal_preserves_results_on_data(self):
+        rows = [
+            ("a", "works", "acme"), ("b", "works", "acme"), ("c", "works", "inc"),
+            ("a", "type", "Emp"), ("b", "type", "Emp"), ("c", "type", "Emp"),
+            ("d", "type", "Emp"),
+        ]
+        dataset = Dataset.from_tuples(rows)
+        minimizer = self._minimizer_from(rows)
+        query = BGPQuery(
+            [X],
+            [TriplePattern(X, "works", Y), TriplePattern(X, "type", "Emp")],
+        )
+        report = minimizer.minimize(query)
+        assert len(report.minimized.patterns) == 1
+        store = TripleStore.from_dataset(dataset)
+        original_rows, _ = evaluate(store, query)
+        minimized_rows, _ = evaluate(store, report.minimized)
+        assert original_rows == minimized_rows
+
+    def test_unsound_removal_never_happens(self):
+        rows = [
+            ("a", "works", "acme"),
+            ("a", "type", "Emp"), ("b", "type", "Emp"),
+        ]
+        minimizer = self._minimizer_from(rows)
+        query = BGPQuery(
+            [X],
+            [TriplePattern(X, "works", Y), TriplePattern(X, "type", "Emp")],
+        )
+        report = minimizer.minimize(query)
+        # removing the works-pattern would change results (b appears);
+        # removing type-pattern is fine ((s,p=works) ⊆ (s,p=type∧o=Emp)
+        # holds); verify semantics:
+        store = TripleStore.from_dataset(Dataset.from_tuples(rows))
+        original_rows, _ = evaluate(store, query)
+        minimized_rows, _ = evaluate(store, report.minimized)
+        assert original_rows == minimized_rows
+
+    def test_report_describe(self):
+        minimizer = QueryMinimizer()
+        query = BGPQuery(
+            [X], [TriplePattern(X, "p", "a"), TriplePattern(X, "p", Y)]
+        )
+        report = minimizer.minimize(query)
+        assert "removed" in report.describe()
+        assert report.joins_saved == len(report.removed)
+
+
+class TestLUBMQ2EndToEnd:
+    @pytest.fixture(scope="class")
+    def lubm_setup(self):
+        dataset = lubm(scale=0.25, seed=303)
+        result = find_pertinent_cinds(dataset.encode(), support_threshold=5)
+        return dataset, QueryMinimizer.from_discovery(result)
+
+    def test_q2_reduces_to_three_patterns(self, lubm_setup):
+        _dataset, minimizer = lubm_setup
+        report = minimizer.minimize(lubm_q2())
+        assert len(report.minimized.patterns) == 3
+        assert report.joins_saved == 3
+
+    def test_q2_results_preserved(self, lubm_setup):
+        dataset, minimizer = lubm_setup
+        store = TripleStore.from_dataset(dataset)
+        report = minimizer.minimize(lubm_q2())
+        original_rows, original_stats = evaluate(store, lubm_q2())
+        minimized_rows, minimized_stats = evaluate(store, report.minimized)
+        assert original_rows == minimized_rows
+        assert original_rows  # non-empty: the join has matches
+        assert minimized_stats.joins < original_stats.joins
+
+    def test_q1_is_not_minimized(self, lubm_setup):
+        """Control: Q1's type pattern is load-bearing and must survive."""
+        _dataset, minimizer = lubm_setup
+        report = minimizer.minimize(lubm_q1())
+        assert len(report.minimized.patterns) == 2

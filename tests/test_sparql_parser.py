@@ -1,0 +1,131 @@
+"""Tests for the SPARQL text parser."""
+
+import pytest
+
+from repro.rdf.store import TripleStore
+from repro.sparql import evaluate
+from repro.sparql.algebra import BGPQuery, TriplePattern, Var
+from repro.sparql.parser import SparqlSyntaxError, parse_query
+
+
+class TestBasicParsing:
+    def test_single_pattern(self):
+        query = parse_query("SELECT ?s WHERE { ?s rdf:type gradStudent . }")
+        assert query.projection == (Var("s"),)
+        assert query.patterns == (
+            TriplePattern(Var("s"), "rdf:type", "gradStudent"),
+        )
+
+    def test_multiple_patterns(self):
+        query = parse_query(
+            "SELECT ?x ?y WHERE { ?x memberOf ?y . ?x rdf:type gradStudent . }"
+        )
+        assert len(query.patterns) == 2
+        assert query.projection == (Var("x"), Var("y"))
+
+    def test_trailing_dot_optional(self):
+        query = parse_query("SELECT ?s WHERE { ?s p o }")
+        assert len(query.patterns) == 1
+
+    def test_where_keyword_optional(self):
+        query = parse_query("SELECT ?s { ?s p o . }")
+        assert len(query.patterns) == 1
+
+    def test_select_star(self):
+        query = parse_query("SELECT * WHERE { ?a p ?b . ?b q ?c . }")
+        assert query.projection == (Var("a"), Var("b"), Var("c"))
+
+    def test_distinct_accepted(self):
+        query = parse_query("SELECT DISTINCT ?s WHERE { ?s p o . }")
+        assert query.projection == (Var("s"),)
+
+    def test_dollar_variables(self):
+        query = parse_query("SELECT $s WHERE { $s p o . }")
+        assert query.projection == (Var("s"),)
+
+    def test_case_insensitive_keywords(self):
+        query = parse_query("select ?s where { ?s p o . }")
+        assert query.projection == (Var("s"),)
+
+    def test_comments_skipped(self):
+        query = parse_query(
+            "SELECT ?s # projection\nWHERE { ?s p o . # body\n }"
+        )
+        assert len(query.patterns) == 1
+
+
+class TestTerms:
+    def test_full_iris(self):
+        query = parse_query("SELECT ?s WHERE { ?s <http://ex/p> <http://ex/o> . }")
+        assert query.patterns[0].p == "http://ex/p"
+
+    def test_prefixed_names_expand(self):
+        query = parse_query(
+            "PREFIX ex: <http://ex/>\nSELECT ?s WHERE { ?s ex:p ex:o . }"
+        )
+        assert query.patterns[0].p == "http://ex/p"
+        assert query.patterns[0].o == "http://ex/o"
+
+    def test_unknown_prefix_kept_verbatim(self):
+        query = parse_query("SELECT ?s WHERE { ?s rdf:type Person . }")
+        assert query.patterns[0].p == "rdf:type"
+
+    def test_plain_literals(self):
+        query = parse_query('SELECT ?s WHERE { ?s areaCode "559" . }')
+        assert query.patterns[0].o == '"559"'
+
+    def test_language_tagged_literal(self):
+        query = parse_query('SELECT ?s WHERE { ?s label "chat"@fr . }')
+        assert query.patterns[0].o == '"chat"@fr'
+
+    def test_datatyped_literal(self):
+        query = parse_query('SELECT ?s WHERE { ?s age "5"^^<http://x/int> . }')
+        assert query.patterns[0].o == '"5"^^<http://x/int>'
+
+    def test_escaped_quote_in_literal(self):
+        query = parse_query(r'SELECT ?s WHERE { ?s says "a \" b" . }')
+        assert query.patterns[0].o == r'"a \" b"'
+
+
+class TestErrors:
+    @pytest.mark.parametrize("text", [
+        "WHERE { ?s p o . }",                 # missing SELECT
+        "SELECT WHERE { ?s p o . }",          # no projection
+        "SELECT ?s { }",                      # empty pattern
+        "SELECT ?s { ?s p o . } junk",        # trailing content
+        "SELECT ?s { ?s p  . }",              # missing term
+        "SELECT ?x { ?s p o . }",             # projected var unbound
+        "PREFIX ex <http://e/> SELECT ?s { ?s p o . }",  # bad prefix decl
+    ])
+    def test_rejects_malformed(self, text):
+        with pytest.raises((SparqlSyntaxError, ValueError)):
+            parse_query(text)
+
+    def test_error_reports_position(self):
+        try:
+            parse_query("SELECT ?s WHERE ?s p o . }")
+        except SparqlSyntaxError as error:
+            assert "line 1" in str(error)
+        else:  # pragma: no cover
+            pytest.fail("expected SparqlSyntaxError")
+
+
+class TestEndToEnd:
+    def test_parsed_query_evaluates(self, table1_dataset):
+        store = TripleStore.from_dataset(table1_dataset)
+        query = parse_query(
+            "SELECT ?s ?u WHERE { ?s rdf:type gradStudent . ?s undergradFrom ?u . }"
+        )
+        rows, _stats = evaluate(store, query)
+        assert rows == [("mike", "cmu"), ("patrick", "hpi")]
+
+    def test_parse_matches_handwritten_algebra(self):
+        parsed = parse_query("SELECT ?d WHERE { ?s memberOf ?d . ?s rdf:type gradStudent . }")
+        handwritten = BGPQuery(
+            [Var("d")],
+            [
+                TriplePattern(Var("s"), "memberOf", Var("d")),
+                TriplePattern(Var("s"), "rdf:type", "gradStudent"),
+            ],
+        )
+        assert parsed == handwritten

@@ -1,0 +1,217 @@
+"""Tests for the miniature relational engine."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dataflow.engine import SimulatedOutOfMemory
+from repro.sqldb import (
+    Aggregate,
+    Cursor,
+    Database,
+    Distinct,
+    Filter,
+    HashLeftOuterJoin,
+    Project,
+    Scan,
+    SortMergeLeftOuterJoin,
+    Table,
+)
+from repro.sqldb.storage import decode_row, encode_row
+
+
+class TestRowCodec:
+    @given(st.lists(st.one_of(st.text(max_size=15), st.integers(), st.none()), max_size=6))
+    def test_roundtrip(self, values):
+        row = tuple(values)
+        assert decode_row(encode_row(row)) == row
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            encode_row((1.5,))
+
+    def test_corrupt_record_rejected(self):
+        with pytest.raises(ValueError):
+            decode_row(b"\x00\x00\x00\x02zq")
+
+
+class TestTable:
+    def test_insert_and_scan(self):
+        table = Table("t", ("a", "b"))
+        table.insert(("x", 1))
+        table.insert_many([("y", 2), ("z", 3)])
+        assert len(table) == 3
+        assert sorted(table) == [("x", 1), ("y", 2), ("z", 3)]
+
+    def test_arity_checked(self):
+        table = Table("t", ("a", "b"))
+        with pytest.raises(ValueError):
+            table.insert(("only-one",))
+        with pytest.raises(ValueError):
+            table.insert_many([("a", 1, 2)])
+
+    def test_column_validation(self):
+        with pytest.raises(ValueError):
+            Table("t", ())
+        with pytest.raises(ValueError):
+            Table("t", ("a", "a"))
+
+    def test_column_index(self):
+        table = Table("t", ("a", "b"))
+        assert table.column_index("b") == 1
+        with pytest.raises(KeyError):
+            table.column_index("zz")
+
+    def test_truncate_and_storage_bytes(self):
+        table = Table("t", ("a",))
+        table.insert(("hello",))
+        assert table.storage_bytes() > 0
+        table.truncate()
+        assert len(table) == 0
+        assert table.storage_bytes() == 0
+
+    def test_repr(self):
+        assert "0 rows" in repr(Table("t", ("a",)))
+
+
+class TestDatabase:
+    def test_create_and_lookup(self):
+        db = Database()
+        table = db.create_table("t", ("a",))
+        assert db.table("t") is table
+        assert "t" in db
+        assert db.tables() == ["t"]
+
+    def test_duplicate_create_rejected(self):
+        db = Database()
+        db.create_table("t", ("a",))
+        with pytest.raises(ValueError):
+            db.create_table("t", ("a",))
+
+    def test_drop(self):
+        db = Database()
+        db.create_table("t", ("a",))
+        db.drop_table("t")
+        assert "t" not in db
+        with pytest.raises(KeyError):
+            db.drop_table("t")
+
+    def test_unknown_lookup(self):
+        with pytest.raises(KeyError):
+            Database().table("missing")
+
+
+@pytest.fixture
+def people():
+    table = Table("people", ("name", "city"))
+    table.insert_many(
+        [("ann", "berlin"), ("bob", "doha"), ("cyd", "berlin"), ("dan", "paris")]
+    )
+    return table
+
+
+@pytest.fixture
+def cities():
+    table = Table("cities", ("city",))
+    table.insert_many([("berlin",), ("doha",), ("doha",)])
+    return table
+
+
+class TestOperators:
+    def test_scan(self, people):
+        assert len(Scan(people).rows()) == 4
+
+    def test_project_single(self, people):
+        assert set(Project(Scan(people), (1,))) == {("berlin",), ("doha",), ("paris",)}
+
+    def test_project_multi_reorders(self, people):
+        rows = Project(Scan(people), (1, 0)).rows()
+        assert ("berlin", "ann") in rows
+
+    def test_filter(self, people):
+        rows = Filter(Scan(people), lambda row: row[1] == "berlin").rows()
+        assert {row[0] for row in rows} == {"ann", "cyd"}
+
+    def test_distinct(self, cities):
+        assert sorted(Distinct(Scan(cities))) == [("berlin",), ("doha",)]
+
+    def test_aggregate_counts(self, people):
+        rows = Aggregate(Scan(people), key_fn=lambda row: (row[1],)).rows()
+        assert ("berlin", 2) in rows and ("paris", 1) in rows
+
+    def test_cursor_roundtrips_rows(self, people):
+        assert sorted(Cursor(Scan(people))) == sorted(Scan(people))
+
+
+class TestJoins:
+    def _reference_left_outer(self, left, right, lk, rk):
+        out = []
+        arity = len(right[0]) if right else 0
+        for lrow in left:
+            matches = [r for r in right if r[rk] == lrow[lk]]
+            if matches:
+                out.extend(lrow + m for m in matches)
+            else:
+                out.append(lrow + (None,) * arity)
+        return sorted(out, key=repr)
+
+    @pytest.mark.parametrize("join_cls", [HashLeftOuterJoin, SortMergeLeftOuterJoin])
+    def test_left_outer_semantics(self, join_cls, people, cities):
+        got = sorted(
+            join_cls(Scan(people), Distinct(Scan(cities)), left_key=1, right_key=0),
+            key=repr,
+        )
+        want = self._reference_left_outer(
+            list(people), sorted(set(cities)), 1, 0
+        )
+        assert got == want
+
+    @pytest.mark.parametrize("join_cls", [HashLeftOuterJoin, SortMergeLeftOuterJoin])
+    def test_duplicate_right_keys_multiply(self, join_cls):
+        left = [("a", 1)]
+        right = [(1, "x"), (1, "y")]
+        rows = list(join_cls(left, right, left_key=1, right_key=0))
+        assert len(rows) == 2
+
+    def test_joins_agree(self, people, cities):
+        hash_rows = sorted(
+            HashLeftOuterJoin(Scan(people), Scan(cities), 1, 0), key=repr
+        )
+        merge_rows = sorted(
+            SortMergeLeftOuterJoin(Scan(people), Scan(cities), 1, 0), key=repr
+        )
+        assert hash_rows == merge_rows
+
+    @given(
+        st.lists(st.tuples(st.integers(0, 5), st.integers(0, 5)), max_size=25),
+        st.lists(st.tuples(st.integers(0, 5),), max_size=10),
+    )
+    def test_join_property(self, left, right):
+        hash_rows = sorted(
+            HashLeftOuterJoin(left, right, left_key=1, right_key=0), key=repr
+        )
+        merge_rows = sorted(
+            SortMergeLeftOuterJoin(left, right, left_key=1, right_key=0), key=repr
+        )
+        reference = self._reference_left_outer(left, right, 1, 0)
+        assert hash_rows == reference
+        assert merge_rows == reference
+
+
+class TestMemoryBudgets:
+    def test_distinct_budget(self, people):
+        with pytest.raises(SimulatedOutOfMemory):
+            list(Distinct(Scan(people), memory_budget=1))
+
+    def test_aggregate_budget(self, people):
+        with pytest.raises(SimulatedOutOfMemory):
+            list(Aggregate(Scan(people), key_fn=lambda r: (r[0],), memory_budget=2))
+
+    def test_hash_join_build_budget(self, people, cities):
+        with pytest.raises(SimulatedOutOfMemory):
+            list(HashLeftOuterJoin(Scan(people), Scan(cities), 1, 0, memory_budget=1))
+
+    def test_sort_merge_budget(self, people, cities):
+        with pytest.raises(SimulatedOutOfMemory):
+            list(
+                SortMergeLeftOuterJoin(Scan(people), Scan(cities), 1, 0, memory_budget=2)
+            )

@@ -1,0 +1,103 @@
+"""Stateful (model-based) property tests via hypothesis."""
+
+from hypothesis import settings, strategies as st
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+
+from repro.core.incremental import IncrementalRDFind
+from repro.core.validation import NaiveProfiler
+from repro.rdf.model import Dataset, Triple
+from repro.rdf.store import TripleStore
+
+_terms = st.sampled_from(["a", "b", "c", "d", "e"])
+_triples = st.builds(Triple, _terms, _terms, _terms)
+
+
+class StoreMachine(RuleBasedStateMachine):
+    """The TripleStore must behave like a plain set of triples."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.store = TripleStore()
+        self.model: set = set()
+
+    @rule(triple=_triples)
+    def add(self, triple):
+        assert self.store.add(triple) == (triple not in self.model)
+        self.model.add(triple)
+
+    @rule(triple=_triples)
+    def remove(self, triple):
+        assert self.store.remove(triple) == (triple in self.model)
+        self.model.discard(triple)
+
+    @rule(s=st.one_of(st.none(), _terms), p=st.one_of(st.none(), _terms),
+          o=st.one_of(st.none(), _terms))
+    def match_agrees_with_model(self, s, p, o):
+        expected = {
+            t for t in self.model
+            if (s is None or t.s == s)
+            and (p is None or t.p == p)
+            and (o is None or t.o == o)
+        }
+        assert set(self.store.match(s, p, o)) == expected
+
+    @invariant()
+    def size_agrees(self):
+        assert len(self.store) == len(self.model)
+
+    @invariant()
+    def vocabularies_agree(self):
+        assert self.store.subjects() == {t.s for t in self.model}
+        assert self.store.objects() == {t.o for t in self.model}
+
+
+TestStoreMachine = StoreMachine.TestCase
+TestStoreMachine.settings = settings(
+    max_examples=30, stateful_step_count=30, deadline=None
+)
+
+
+class IncrementalMachine(RuleBasedStateMachine):
+    """The incremental maintainer must always equal batch recomputation."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.h = 2
+        self.maintainer = IncrementalRDFind(h=self.h)
+        self.model: list = []
+
+    @rule(triple=_triples)
+    def add(self, triple):
+        was_new = triple not in set(self.model)
+        assert self.maintainer.add(triple) == was_new
+        if was_new:
+            self.model.append(triple)
+
+    @invariant()
+    def pertinent_matches_batch(self):
+        if not self.model:
+            return
+        from repro.core.cind import decode_cind
+
+        got = {
+            (decode_cind(sc.cind, self.maintainer.dictionary), sc.support)
+            for sc in self.maintainer.pertinent_cinds()
+        }
+        encoded = Dataset(self.model).encode()
+        profiler = NaiveProfiler(encoded, prune_ar_equivalents=False)
+        want = {
+            (decode_cind(sc.cind, encoded.dictionary), sc.support)
+            for sc in profiler.pertinent_cinds(self.h)
+        }
+        assert got == want
+
+
+TestIncrementalMachine = IncrementalMachine.TestCase
+TestIncrementalMachine.settings = settings(
+    max_examples=15, stateful_step_count=15, deadline=None
+)

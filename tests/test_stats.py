@@ -1,0 +1,86 @@
+"""Tests for the search-space statistics (Figures 2 and 4)."""
+
+import pytest
+
+from repro.core.conditions import ConditionScope
+from repro.core.stats import (
+    condition_frequency_histogram,
+    search_space_funnel,
+)
+from repro.core.validation import NaiveProfiler
+from repro.datasets import countries
+from tests.conftest import random_rdf
+
+
+class TestHistogram:
+    def test_total_conditions(self, table1_encoded):
+        histogram = condition_frequency_histogram(table1_encoded)
+        profiler = NaiveProfiler(table1_encoded)
+        assert sum(histogram.values()) == len(profiler.condition_frequencies())
+
+    def test_matches_oracle_bucket_by_bucket(self):
+        encoded = random_rdf(700, n_triples=40).encode()
+        histogram = condition_frequency_histogram(encoded)
+        frequencies = NaiveProfiler(encoded).condition_frequencies()
+        for frequency, count in histogram.items():
+            assert count == sum(1 for f in frequencies.values() if f == frequency)
+
+    def test_frequency_one_dominates_real_shape(self):
+        """Figure 4's point: most conditions hold for very few triples."""
+        dataset = countries(scale=0.5)
+        histogram = condition_frequency_histogram(dataset)
+        total = sum(histogram.values())
+        assert histogram[1] / total > 0.5
+
+    def test_scoped_histogram(self, table1_encoded):
+        scope = ConditionScope.predicates_only()
+        histogram = condition_frequency_histogram(table1_encoded, scope)
+        assert sum(histogram.values()) == 3  # three distinct predicates
+
+
+class TestFunnel:
+    @pytest.fixture(scope="class")
+    def funnel(self):
+        encoded = random_rdf(710, n_triples=40).encode()
+        return search_space_funnel(encoded, h=2, exhaustive=True)
+
+    def test_concentric_ordering(self, funnel):
+        assert (
+            funnel.all_cind_candidates
+            >= funnel.frequent_condition_candidates
+            >= funnel.broad_cind_candidates
+            >= funnel.broad_cinds
+            >= funnel.pertinent_cinds
+        )
+
+    def test_valid_within_candidates(self, funnel):
+        assert funnel.valid_cinds is not None
+        assert funnel.minimal_cinds is not None
+        assert funnel.valid_cinds >= funnel.minimal_cinds
+
+    def test_candidate_formula(self, funnel):
+        assert funnel.all_cind_candidates == funnel.captures_total * (
+            funnel.captures_total - 1
+        )
+
+    def test_rows_and_describe(self, funnel):
+        labels = [label for label, _count in funnel.rows()]
+        assert "pertinent CINDs" in labels
+        assert "all CINDs" in labels  # exhaustive mode adds it
+        assert "h=2" in funnel.describe()
+
+    def test_non_exhaustive_skips_expensive_counts(self):
+        encoded = random_rdf(711, n_triples=30).encode()
+        funnel = search_space_funnel(encoded, h=2)
+        assert funnel.valid_cinds is None
+        labels = [label for label, _count in funnel.rows()]
+        assert "all CINDs" not in labels
+
+    def test_broad_counts_match_discovery(self):
+        from repro.core.discovery import find_pertinent_cinds
+
+        encoded = random_rdf(712, n_triples=40).encode()
+        funnel = search_space_funnel(encoded, h=2)
+        result = find_pertinent_cinds(encoded, support_threshold=2)
+        assert funnel.pertinent_cinds == len(result.cinds)
+        assert funnel.association_rules == len(result.association_rules)

@@ -1,0 +1,103 @@
+"""Tests for the indexed triple store."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rdf.model import Dataset, Triple
+from repro.rdf.store import TripleStore
+
+
+@pytest.fixture
+def store(table1_dataset):
+    return TripleStore.from_dataset(table1_dataset)
+
+
+class TestBasics:
+    def test_len(self, store):
+        assert len(store) == 8
+
+    def test_contains(self, store):
+        assert Triple("patrick", "rdf:type", "gradStudent") in store
+        assert Triple("nobody", "rdf:type", "gradStudent") not in store
+
+    def test_add_deduplicates(self, store):
+        assert store.add(Triple("patrick", "rdf:type", "gradStudent")) is False
+        assert len(store) == 8
+
+    def test_add_from_plain_tuple(self):
+        store = TripleStore()
+        assert store.add(("a", "b", "c")) is True
+        assert Triple("a", "b", "c") in store
+
+    def test_remove(self, store):
+        triple = Triple("patrick", "rdf:type", "gradStudent")
+        assert store.remove(triple) is True
+        assert triple not in store
+        assert store.remove(triple) is False
+        assert store.count(p="rdf:type") == 2
+
+    def test_to_dataset_roundtrip(self, store, table1_dataset):
+        assert store.to_dataset() == table1_dataset
+
+
+class TestMatch:
+    def test_fully_bound(self, store):
+        assert store.count("patrick", "rdf:type", "gradStudent") == 1
+
+    def test_by_subject(self, store):
+        assert store.count(s="patrick") == 3
+
+    def test_by_predicate(self, store):
+        assert store.count(p="undergradFrom") == 3
+
+    def test_by_object(self, store):
+        assert store.count(o="hpi") == 2
+
+    def test_by_predicate_object(self, store):
+        assert store.count(p="rdf:type", o="gradStudent") == 2
+
+    def test_by_subject_predicate(self, store):
+        assert store.count(s="mike", p="rdf:type") == 1
+
+    def test_by_subject_object(self, store):
+        assert store.count(s="patrick", o="csd") == 1
+
+    def test_unbound_scans_all(self, store):
+        assert store.count() == 8
+
+    def test_no_match(self, store):
+        assert store.count(s="nobody") == 0
+
+    def test_vocab_views(self, store):
+        assert "patrick" in store.subjects()
+        assert "rdf:type" in store.predicates()
+        assert "hpi" in store.objects()
+
+    def test_cardinality_estimate_bounds_count(self, store):
+        for pattern in [
+            dict(s="patrick"), dict(p="rdf:type"), dict(o="hpi"),
+            dict(p="rdf:type", o="gradStudent"), dict(s="mike", p="memberOf"),
+        ]:
+            assert store.cardinality_estimate(**pattern) >= store.count(**pattern)
+
+
+_term = st.sampled_from(["a", "b", "c", "d"])
+
+
+class TestMatchProperty:
+    @given(
+        st.lists(st.tuples(_term, _term, _term), max_size=30),
+        st.one_of(st.none(), _term),
+        st.one_of(st.none(), _term),
+        st.one_of(st.none(), _term),
+    )
+    def test_match_equals_naive_filter(self, rows, s, p, o):
+        triples = [Triple(*row) for row in rows]
+        store = TripleStore(triples)
+        expected = {
+            t for t in set(triples)
+            if (s is None or t.s == s)
+            and (p is None or t.p == p)
+            and (o is None or t.o == o)
+        }
+        assert set(store.match(s, p, o)) == expected

@@ -1,0 +1,162 @@
+"""Tests for the Turtle-subset reader."""
+
+import pytest
+
+from repro.rdf.model import Dataset, Triple
+from repro.rdf.namespaces import RDF
+from repro.rdf.turtle import (
+    TurtleParseError,
+    parse_turtle,
+    parse_turtle_file,
+)
+
+
+def triples(text):
+    return list(parse_turtle(text))
+
+
+class TestBasics:
+    def test_plain_statement(self):
+        got = triples("<http://ex/s> <http://ex/p> <http://ex/o> .")
+        assert got == [Triple("http://ex/s", "http://ex/p", "http://ex/o")]
+
+    def test_prefixed_names(self):
+        got = triples("@prefix ex: <http://ex/> . ex:s ex:p ex:o .")
+        assert got == [Triple("http://ex/s", "http://ex/p", "http://ex/o")]
+
+    def test_sparql_style_prefix(self):
+        got = triples("PREFIX ex: <http://ex/>\nex:s ex:p ex:o .")
+        assert got == [Triple("http://ex/s", "http://ex/p", "http://ex/o")]
+
+    def test_base_resolution(self):
+        got = triples("@base <http://ex/> . <s> <p> <o> .")
+        assert got == [Triple("http://ex/s", "http://ex/p", "http://ex/o")]
+
+    def test_a_keyword(self):
+        got = triples("@prefix ex: <http://ex/> . ex:s a ex:Person .")
+        assert got[0].p == RDF.type
+
+    def test_comments_and_whitespace(self):
+        got = triples(
+            "# leading comment\n@prefix ex: <http://ex/> .\n\n"
+            "ex:s ex:p ex:o . # trailing"
+        )
+        assert len(got) == 1
+
+
+class TestAbbreviations:
+    def test_predicate_list(self):
+        got = triples(
+            "@prefix ex: <http://ex/> . ex:s ex:p1 ex:a ; ex:p2 ex:b ."
+        )
+        assert len(got) == 2
+        assert {t.p for t in got} == {"http://ex/p1", "http://ex/p2"}
+        assert all(t.s == "http://ex/s" for t in got)
+
+    def test_object_list(self):
+        got = triples("@prefix ex: <http://ex/> . ex:s ex:p ex:a , ex:b , ex:c .")
+        assert len(got) == 3
+        assert {t.o for t in got} == {
+            "http://ex/a", "http://ex/b", "http://ex/c",
+        }
+
+    def test_combined_lists(self):
+        got = triples(
+            "@prefix ex: <http://ex/> .\n"
+            "ex:s a ex:T ; ex:p ex:a , ex:b ; ex:q ex:c ."
+        )
+        assert len(got) == 4
+
+    def test_dangling_semicolon(self):
+        got = triples("@prefix ex: <http://ex/> . ex:s ex:p ex:o ; .")
+        assert len(got) == 1
+
+
+class TestLiterals:
+    def test_plain_literal(self):
+        got = triples('@prefix ex: <http://ex/> . ex:s ex:p "hello" .')
+        assert got[0].o == '"hello"'
+
+    def test_language_tag(self):
+        got = triples('@prefix ex: <http://ex/> . ex:s ex:p "chat"@fr .')
+        assert got[0].o == '"chat"@fr'
+
+    def test_datatype_iri(self):
+        got = triples('@prefix ex: <http://ex/> . ex:s ex:p "5"^^<http://t> .')
+        assert got[0].o == '"5"^^<http://t>'
+
+    def test_datatype_pname(self):
+        got = triples(
+            "@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .\n"
+            '@prefix ex: <http://ex/> . ex:s ex:p "5"^^xsd:int .'
+        )
+        assert got[0].o == '"5"^^<http://www.w3.org/2001/XMLSchema#int>'
+
+    def test_integer_shorthand(self):
+        got = triples("@prefix ex: <http://ex/> . ex:s ex:p 42 .")
+        assert got[0].o.startswith('"42"^^<') and "integer" in got[0].o
+
+    def test_decimal_shorthand(self):
+        got = triples("@prefix ex: <http://ex/> . ex:s ex:p 3.14 .")
+        assert "decimal" in got[0].o
+
+    def test_boolean_shorthand(self):
+        got = triples("@prefix ex: <http://ex/> . ex:s ex:p true .")
+        assert "boolean" in got[0].o
+
+
+class TestBlankNodes:
+    def test_labelled_blank(self):
+        got = triples("@prefix ex: <http://ex/> . _:b1 ex:p _:b2 .")
+        assert got[0].s == "_:b1" and got[0].o == "_:b2"
+
+    def test_anonymous_blanks_get_fresh_labels(self):
+        got = triples("@prefix ex: <http://ex/> . [] ex:p [] . [] ex:p ex:o .")
+        labels = {t.s for t in got} | {got[0].o}
+        assert len(labels) == 3
+
+
+class TestErrors:
+    @pytest.mark.parametrize("text", [
+        "ex:s ex:p ex:o .",                       # undeclared prefix
+        "@prefix ex: <http://ex/> . ex:s ex:p .",  # missing object
+        "@prefix ex: <http://ex/> . ex:s ex:p ex:o",  # missing dot
+        '@prefix ex: <http://ex/> . "lit" ex:p ex:o .',  # literal subject
+        "@prefix ex <http://ex/> .",               # malformed prefix decl
+    ])
+    def test_rejects_malformed(self, text):
+        with pytest.raises(TurtleParseError):
+            triples(text)
+
+    def test_error_carries_line(self):
+        try:
+            triples("@prefix ex: <http://e/> .\nex:s ex:p .")
+        except TurtleParseError as error:
+            assert "line 2" in str(error)
+        else:  # pragma: no cover
+            pytest.fail("expected TurtleParseError")
+
+
+class TestFileAndInterop:
+    def test_file_parsing(self, tmp_path):
+        path = tmp_path / "data.ttl"
+        path.write_text(
+            "@prefix ex: <http://ex/> .\n"
+            "ex:alice a ex:Person ; ex:knows ex:bob .\n"
+            "ex:bob a ex:Person .\n",
+            encoding="utf-8",
+        )
+        dataset = parse_turtle_file(path)
+        assert isinstance(dataset, Dataset)
+        assert len(dataset) == 3
+
+    def test_turtle_feeds_discovery(self):
+        """Turtle input runs through the full pipeline unchanged."""
+        from repro.core.discovery import find_pertinent_cinds
+
+        text = "@prefix ex: <http://ex/> .\n" + "\n".join(
+            f"ex:e{i} a ex:T ; ex:p ex:v{i % 2} ." for i in range(8)
+        )
+        dataset = Dataset(parse_turtle(text))
+        result = find_pertinent_cinds(dataset.encode(), support_threshold=2)
+        assert result.stats.num_triples == 16

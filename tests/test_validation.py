@@ -1,0 +1,123 @@
+"""Tests for the brute-force oracle itself (NaiveProfiler internals)."""
+
+import pytest
+
+from repro.core.cind import CIND, Capture
+from repro.core.conditions import BinaryCondition, UnaryCondition
+from repro.core.validation import NaiveProfiler
+from repro.rdf.model import Attr, Dataset
+
+
+@pytest.fixture
+def profiler(table1_encoded):
+    return NaiveProfiler(table1_encoded)
+
+
+def _capture(dictionary, attr, *constraints):
+    if len(constraints) == 1:
+        ((c_attr, term),) = constraints
+        condition = UnaryCondition(c_attr, dictionary.encode_existing(term))
+    else:
+        (a1, t1), (a2, t2) = constraints
+        condition = BinaryCondition.make(
+            a1, dictionary.encode_existing(t1), a2, dictionary.encode_existing(t2)
+        )
+    return Capture(attr, condition)
+
+
+class TestInterpretations:
+    def test_example2_interpretation(self, profiler, table1_encoded):
+        """Example 2: (s, p=rdf:type ∧ o=gradStudent) -> {patrick, mike}."""
+        dictionary = table1_encoded.dictionary
+        capture = _capture(
+            dictionary, Attr.S, (Attr.P, "rdf:type"), (Attr.O, "gradStudent")
+        )
+        values = {
+            dictionary.decode(v) for v in profiler.interpretation(capture)
+        }
+        assert values == {"patrick", "mike"}
+
+    def test_unary_interpretation(self, profiler, table1_encoded):
+        dictionary = table1_encoded.dictionary
+        capture = _capture(dictionary, Attr.S, (Attr.P, "undergradFrom"))
+        values = {dictionary.decode(v) for v in profiler.interpretation(capture)}
+        assert values == {"patrick", "mike", "tim"}
+
+    def test_batch_interpretations_match_single(self, profiler):
+        universe = sorted(profiler.capture_universe(1))[:15]
+        batch = profiler.interpretations(universe)
+        for capture in universe:
+            assert batch[capture] == profiler.interpretation(capture)
+
+    def test_capture_support(self, profiler, table1_encoded):
+        dictionary = table1_encoded.dictionary
+        capture = _capture(dictionary, Attr.S, (Attr.P, "rdf:type"))
+        assert profiler.capture_support(capture) == 3
+
+
+class TestValidity:
+    def test_example3_cind_valid(self, profiler, table1_encoded):
+        dictionary = table1_encoded.dictionary
+        cind = CIND(
+            _capture(dictionary, Attr.S, (Attr.P, "rdf:type"), (Attr.O, "gradStudent")),
+            _capture(dictionary, Attr.S, (Attr.P, "undergradFrom")),
+        )
+        assert profiler.is_valid(cind)
+        assert profiler.support(cind) == 2
+
+    def test_invalid_cind(self, profiler, table1_encoded):
+        dictionary = table1_encoded.dictionary
+        cind = CIND(
+            _capture(dictionary, Attr.S, (Attr.P, "undergradFrom")),
+            _capture(dictionary, Attr.S, (Attr.P, "rdf:type")),
+        )
+        assert not profiler.is_valid(cind)  # tim never has an rdf:type
+
+
+class TestConditionMachinery:
+    def test_frequencies_total(self, profiler):
+        frequencies = profiler.condition_frequencies()
+        # 8 triples x (3 unary + 3 binary) condition slots, minus merges
+        assert sum(frequencies.values()) == 8 * 6
+
+    def test_frequent_filtering(self, profiler):
+        assert all(c >= 2 for c in profiler.frequent_conditions(2).values())
+
+    def test_threshold_validation(self, profiler):
+        with pytest.raises(ValueError):
+            profiler.frequent_conditions(0)
+        with pytest.raises(ValueError):
+            profiler.broad_cinds(0)
+
+
+class TestUniverse:
+    def test_universe_excludes_ar_binaries(self, table1_encoded):
+        profiler = NaiveProfiler(table1_encoded)
+        dictionary = table1_encoded.dictionary
+        ar_binary = _capture(
+            dictionary, Attr.S, (Attr.P, "rdf:type"), (Attr.O, "gradStudent")
+        )
+        universe = profiler.capture_universe(2)
+        assert ar_binary not in universe
+        unary_twin = _capture(dictionary, Attr.S, (Attr.O, "gradStudent"))
+        assert unary_twin in universe
+
+    def test_universe_excludes_projection_in_condition(self, profiler):
+        for capture in profiler.capture_universe(1):
+            assert capture.attr not in capture.condition.attrs
+
+    def test_string_dataset_accepted(self):
+        profiler = NaiveProfiler(Dataset.from_tuples([("a", "b", "c")]))
+        assert profiler.condition_frequencies()
+
+
+class TestDiscoverShape:
+    def test_sorted_by_support_descending(self, table1_encoded):
+        cinds, ars = NaiveProfiler(table1_encoded).discover(1)
+        supports = [sc.support for sc in cinds]
+        assert supports == sorted(supports, reverse=True)
+        ar_supports = [sa.support for sa in ars]
+        assert ar_supports == sorted(ar_supports, reverse=True)
+
+    def test_broad_respects_threshold(self, profiler):
+        assert all(s >= 3 for s in profiler.broad_cinds(3).values())
