@@ -68,7 +68,7 @@ class DiscoveryCache:
     def dataset(self, name: str, scale: float = 1.0):
         key = (name, scale)
         if key not in self._datasets:
-            self._datasets[key] = registry.load(name, scale=scale).encode()
+            self._datasets[key] = registry.load(name, scale=scale, encoded=True)
         return self._datasets[key]
 
     def run(

@@ -113,6 +113,16 @@ VERDICTS: Dict[str, str] = {
         "the extract-then-consolidate design and is up to ~2.5× slower "
         "than RDFind-DE (paper: up to 3×), with byte-identical output."
     ),
+    "Storage encoding": (
+        "**Verdict — physical layout only, output byte-identical "
+        "(asserted).** Dictionary-encoded columns shrink the resident set "
+        "~4× vs string triples and the columnar counting fast paths speed "
+        "up end-to-end discovery, growing with dataset size (~1.1× on "
+        "tiny Countries, ~1.6× on full-size Diseasome). Not a paper "
+        "experiment — this reproduces the dictionary-encoding + "
+        "vertical-partitioning design of the in-memory RDF stores the "
+        "paper builds on."
+    ),
 }
 
 _SECTION_RE = re.compile(r"^=+ (.+?) =+$")
@@ -127,7 +137,7 @@ def extract_sections(log_text: str) -> List[Tuple[str, List[str]]]:
         match = _SECTION_RE.match(line.strip())
         if match and any(
             match.group(1).startswith(prefix)
-            for prefix in ("Table", "Figure", "Section")
+            for prefix in ("Table", "Figure", "Section", "Storage")
         ):
             if title is not None:
                 sections.append((title, current))

@@ -38,17 +38,35 @@ from repro.core.discovery import DiscoveryResult, RDFind, RDFindConfig
 from repro.core.serialization import dump_result
 from repro.core.stats import condition_frequency_histogram, search_space_funnel
 from repro.datasets.registry import DATASETS, load
-from repro.rdf.model import Dataset
+from repro.rdf.model import Dataset, EncodedDataset
 from repro.rdf.ntriples import parse_ntriples_file, write_ntriples_file
 from repro.rdf.turtle import parse_turtle_file
 
 
-def _load_input(spec: str, scale: float = 1.0) -> Dataset:
+def _load_input(
+    spec: str, scale: float = 1.0, storage: str = "encoded"
+) -> "Dataset | EncodedDataset":
+    """Load an input in the requested physical layout.
+
+    With ``storage='encoded'`` (the default), ``dataset:`` inputs are
+    generated straight into dictionary-encoded columns and parsed files
+    are encoded right after parsing; ``storage='strings'`` keeps the
+    record-at-a-time string :class:`Dataset`.
+    """
+    encoded = storage == "encoded"
     if spec.startswith("dataset:"):
-        return load(spec[len("dataset:") :], scale=scale)
+        return load(spec[len("dataset:") :], scale=scale, encoded=encoded)
     if str(spec).endswith((".ttl", ".turtle")):
-        return parse_turtle_file(spec)
-    return parse_ntriples_file(spec)
+        dataset = parse_turtle_file(spec)
+    else:
+        dataset = parse_ntriples_file(spec)
+    return dataset.encode() if encoded else dataset
+
+
+def _ensure_encoded(dataset: "Dataset | EncodedDataset") -> EncodedDataset:
+    if isinstance(dataset, EncodedDataset):
+        return dataset
+    return dataset.encode()
 
 
 def _scope(name: str) -> ConditionScope:
@@ -70,10 +88,15 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--scale", type=float, default=1.0, help="scale for dataset: inputs"
     )
+    parser.add_argument(
+        "--storage", choices=("strings", "encoded"), default="encoded",
+        help="physical triple layout (dictionary-encoded columns by default)",
+    )
 
 
 def _discover(args: argparse.Namespace) -> DiscoveryResult:
-    dataset = _load_input(args.input, scale=args.scale)
+    storage = getattr(args, "storage", "encoded")
+    dataset = _load_input(args.input, scale=args.scale, storage=storage)
     variant = getattr(args, "variant", "rdfind")
     builders = {
         "rdfind": RDFindConfig,
@@ -84,6 +107,7 @@ def _discover(args: argparse.Namespace) -> DiscoveryResult:
         support_threshold=args.support,
         parallelism=args.parallelism,
         scope=_scope(getattr(args, "scope", "full")),
+        storage=storage,
     )
     return RDFind(config).discover(dataset)
 
@@ -128,7 +152,7 @@ def cmd_discover(args: argparse.Namespace) -> int:
 
 
 def cmd_funnel(args: argparse.Namespace) -> int:
-    dataset = _load_input(args.input, scale=args.scale)
+    dataset = _load_input(args.input, scale=args.scale, storage=args.storage)
     funnel = search_space_funnel(
         dataset, args.support, exhaustive=args.exhaustive,
         parallelism=args.parallelism,
@@ -138,7 +162,7 @@ def cmd_funnel(args: argparse.Namespace) -> int:
 
 
 def cmd_histogram(args: argparse.Namespace) -> int:
-    dataset = _load_input(args.input, scale=args.scale)
+    dataset = _load_input(args.input, scale=args.scale, storage=args.storage)
     histogram = condition_frequency_histogram(dataset)
     print(f"{'frequency':>10} {'conditions':>12}")
     for frequency in sorted(histogram):
@@ -165,15 +189,15 @@ def cmd_facts(args: argparse.Namespace) -> int:
 
 
 def cmd_advise(args: argparse.Namespace) -> int:
-    dataset = _load_input(args.input, scale=args.scale)
-    analysis = recommend_support_threshold(dataset.encode())
+    dataset = _load_input(args.input, scale=args.scale, storage=args.storage)
+    analysis = recommend_support_threshold(_ensure_encoded(dataset))
     print(analysis.describe())
     return 0
 
 
 def cmd_rank(args: argparse.Namespace) -> int:
-    dataset = _load_input(args.input, scale=args.scale)
-    encoded = dataset.encode()
+    dataset = _load_input(args.input, scale=args.scale, storage=args.storage)
+    encoded = _ensure_encoded(dataset)
     result = RDFind(
         RDFindConfig(
             support_threshold=args.support, parallelism=args.parallelism
@@ -191,8 +215,8 @@ def cmd_rank(args: argparse.Namespace) -> int:
 
 
 def cmd_inds(args: argparse.Namespace) -> int:
-    dataset = _load_input(args.input, scale=args.scale)
-    result = discover_inds(dataset.encode(), parallelism=args.parallelism)
+    dataset = _load_input(args.input, scale=args.scale, storage=args.storage)
+    result = discover_inds(_ensure_encoded(dataset), parallelism=args.parallelism)
     print(
         f"plain INDs over the s/p/o attributes "
         f"({result.elapsed_seconds:.2f}s) — the coarseness that motivates "
@@ -206,17 +230,19 @@ def cmd_inds(args: argparse.Namespace) -> int:
 
 
 def cmd_cross(args: argparse.Namespace) -> int:
-    left = _load_input(args.left, scale=args.scale)
-    right = _load_input(args.right, scale=args.scale)
+    # cross-dataset discovery re-encodes both sides into one shared
+    # dictionary, so the inputs stay in string form here
+    left = _load_input(args.left, scale=args.scale, storage="strings")
+    right = _load_input(args.right, scale=args.scale, storage="strings")
     report = discover_cross_cinds(left, right, h=args.support)
     print(report.describe(limit=args.limit))
     return 0
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
-    dataset = _load_input(args.input, scale=args.scale)
+    dataset = _load_input(args.input, scale=args.scale, storage=args.storage)
     h = args.support if args.support > 0 else None
-    print(profile_dataset(dataset.encode(), h=h, parallelism=args.parallelism)
+    print(profile_dataset(_ensure_encoded(dataset), h=h, parallelism=args.parallelism)
           .describe(limit=args.limit))
     return 0
 
@@ -307,6 +333,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     profile.add_argument("-p", "--parallelism", type=int, default=4)
     profile.add_argument("--scale", type=float, default=1.0)
+    profile.add_argument(
+        "--storage", choices=("strings", "encoded"), default="encoded",
+        help="physical triple layout (dictionary-encoded columns by default)",
+    )
     profile.add_argument("-n", "--limit", type=int, default=10)
 
     return parser

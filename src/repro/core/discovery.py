@@ -46,7 +46,7 @@ from repro.core.frequent_conditions import (
     detect_frequent_conditions,
 )
 from repro.core.minimality import broad_cind_list, consolidate_pertinent
-from repro.dataflow.engine import ExecutionEnvironment
+from repro.dataflow.engine import ExecutionEnvironment, record_cells
 from repro.dataflow.gcpause import gc_paused
 from repro.dataflow.metrics import JobMetrics
 from repro.rdf.model import Dataset, EncodedDataset, TermDictionary
@@ -85,6 +85,12 @@ class RDFindConfig:
     keep_broad_cinds:
         Also materialize the full broad (pre-minimality) CIND list on the
         result object.
+    storage:
+        Physical layout of the triple source: ``"encoded"`` (default)
+        runs the counting stages directly over the dictionary-encoded id
+        columns and charges the source against the memory budget by
+        cell cost; ``"strings"`` keeps the record-at-a-time dataflow
+        paths.  Both produce identical results.
     """
 
     support_threshold: int = 25
@@ -98,6 +104,7 @@ class RDFindConfig:
     candidate_bloom_hashes: int = DEFAULT_CANDIDATE_BLOOM_HASHES
     memory_budget: Optional[int] = None
     keep_broad_cinds: bool = False
+    storage: str = "encoded"
 
     def __post_init__(self) -> None:
         if self.support_threshold < 1:
@@ -106,6 +113,10 @@ class RDFindConfig:
             )
         if self.parallelism < 1:
             raise ValueError(f"parallelism must be >= 1, got {self.parallelism}")
+        if self.storage not in ("strings", "encoded"):
+            raise ValueError(
+                f"storage must be 'strings' or 'encoded', got {self.storage!r}"
+            )
 
     @classmethod
     def direct_extraction(cls, **overrides) -> "RDFindConfig":
@@ -245,7 +256,12 @@ class RDFind:
             memory_budget=config.memory_budget,
             name=f"{config.variant_name}(h={config.support_threshold})",
         )
-        triples = env.from_collection(encoded.triples, name="source/triples")
+        use_columns = config.storage == "encoded"
+        triples = env.from_collection(
+            encoded,
+            name="source/triples",
+            cost_fn=record_cells if use_columns else None,
+        )
 
         frequent: Optional[FrequentConditions] = None
         if config.prune_infrequent_conditions:
@@ -255,6 +271,7 @@ class RDFind:
                 h=config.support_threshold,
                 scope=config.scope,
                 fp_rate=config.bloom_fp_rate,
+                columns=encoded if use_columns else None,
             )
 
         groups = create_capture_groups(

@@ -14,7 +14,7 @@ languages, and memberships.  Planted CIND-bearing structure:
 from __future__ import annotations
 
 from repro.datasets.synth import GraphBuilder, entity_names, scaled
-from repro.rdf.model import Dataset
+from repro.rdf.model import Dataset, EncodedDataset
 
 REGIONS = ("Europe", "Asia", "Africa", "Americas", "Oceania")
 
@@ -27,7 +27,7 @@ _SUBREGIONS = {
 }
 
 
-def countries(scale: float = 1.0, seed: int = 101) -> Dataset:
+def countries(scale: float = 1.0, seed: int = 101, encoded: bool = False) -> "Dataset | EncodedDataset":
     """Generate the Countries dataset (paper size ≈ 5,563 triples at scale 1)."""
     builder = GraphBuilder("Countries", seed)
     rng = builder.rng
@@ -93,4 +93,4 @@ def countries(scale: float = 1.0, seed: int = 101) -> Dataset:
         if rng.random() < 0.4:
             builder.add(country, "callingCode", f'"+{rng.randint(1, 999)}"')
 
-    return builder.build()
+    return builder.build_encoded() if encoded else builder.build()

@@ -24,7 +24,7 @@ test.
 from __future__ import annotations
 
 from repro.datasets.synth import GraphBuilder, entity_names, scaled
-from repro.rdf.model import Dataset
+from repro.rdf.model import Dataset, EncodedDataset
 
 _SETTLEMENT_STATES = (
     "California", "Texas", "NewYork", "Florida", "Illinois",
@@ -40,7 +40,7 @@ _CLASS_HIERARCHY = (
 )
 
 
-def db14_mpce(scale: float = 1.0, seed: int = 606) -> Dataset:
+def db14_mpce(scale: float = 1.0, seed: int = 606, encoded: bool = False) -> "Dataset | EncodedDataset":
     """Generate DB14-MPCE (~150k triples at scale 1; paper: 33.3M)."""
     builder = GraphBuilder("DB14-MPCE", seed)
     rng = builder.rng
@@ -133,10 +133,10 @@ def db14_mpce(scale: float = 1.0, seed: int = 606) -> Dataset:
             builder.add_type(entity, parent)
             builder.add(entity, "name", f'"{sub} {index}"')
 
-    return builder.build()
+    return builder.build_encoded() if encoded else builder.build()
 
 
-def db14_ple(scale: float = 1.0, seed: int = 707) -> Dataset:
+def db14_ple(scale: float = 1.0, seed: int = 707, encoded: bool = False) -> "Dataset | EncodedDataset":
     """Generate DB14-PLE (~180k triples at scale 1; paper: 152.9M).
 
     Person-centric, literal-heavy: most conditions hold for exactly one
@@ -171,4 +171,4 @@ def db14_ple(scale: float = 1.0, seed: int = 707) -> Dataset:
         if rng.random() < 0.3:
             builder.add(person, "height", f'"{rng.randint(140, 210)}"')
 
-    return builder.build()
+    return builder.build_encoded() if encoded else builder.build()

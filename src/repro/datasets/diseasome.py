@@ -16,7 +16,7 @@ Mirrors the FU Berlin Diseasome dataset the paper profiles most heavily
 from __future__ import annotations
 
 from repro.datasets.synth import GraphBuilder, entity_names, scaled
-from repro.rdf.model import Dataset
+from repro.rdf.model import Dataset, EncodedDataset
 
 #: Top-level disease classes and how many subclasses each has.
 DISEASE_CLASSES = (
@@ -33,7 +33,7 @@ DISEASE_CLASSES = (
 CHROMOSOMES = tuple(f"chr{label}" for label in list(range(1, 23)) + ["X", "Y"])
 
 
-def diseasome(scale: float = 1.0, seed: int = 202) -> Dataset:
+def diseasome(scale: float = 1.0, seed: int = 202, encoded: bool = False) -> "Dataset | EncodedDataset":
     """Generate the Diseasome dataset (paper size ≈ 72,445 triples at scale 1)."""
     builder = GraphBuilder("Diseasome", seed)
     rng = builder.rng
@@ -88,4 +88,4 @@ def diseasome(scale: float = 1.0, seed: int = 202) -> Dataset:
         for child in members[1:]:
             builder.add(child, "diseaseSubtypeOf", members[0])
 
-    return builder.build()
+    return builder.build_encoded() if encoded else builder.build()

@@ -18,7 +18,7 @@ structure:
 from __future__ import annotations
 
 from repro.datasets.synth import GraphBuilder, entity_names, scaled
-from repro.rdf.model import Dataset
+from repro.rdf.model import Dataset, EncodedDataset
 
 DRUG_CATEGORIES = (
     "SmallMolecule",
@@ -38,7 +38,7 @@ CLASSIFICATION_PAIRS = (
 )
 
 
-def drugbank(scale: float = 1.0, seed: int = 404) -> Dataset:
+def drugbank(scale: float = 1.0, seed: int = 404, encoded: bool = False) -> "Dataset | EncodedDataset":
     """Generate the DrugBank dataset (~85k triples at scale 1; paper: 517k)."""
     builder = GraphBuilder("DrugBank", seed)
     rng = builder.rng
@@ -88,4 +88,4 @@ def drugbank(scale: float = 1.0, seed: int = 404) -> Dataset:
     for target in target_uris[14:20]:
         builder.add(drug_uris[47 % n_drugs], "target", target)
 
-    return builder.build()
+    return builder.build_encoded() if encoded else builder.build()

@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.datasets.synth import GraphBuilder
-from repro.rdf.model import Dataset
+from repro.rdf.model import Dataset, EncodedDataset
 
 #: Domains of the synthetic Freebase schema and their property counts.
 _DOMAINS = (
@@ -33,7 +33,7 @@ _DOMAINS = (
 )
 
 
-def freebase(n_triples: int = 200_000, seed: int = 808) -> Dataset:
+def freebase(n_triples: int = 200_000, seed: int = 808, encoded: bool = False) -> "Dataset | EncodedDataset":
     """Generate a Freebase-like dataset with roughly ``n_triples`` triples.
 
     Every topic belongs to one domain; it receives one or two type
@@ -99,4 +99,4 @@ def freebase(n_triples: int = 200_000, seed: int = 808) -> Dataset:
                 )
                 builder.add(topic, predicate, target)
 
-    return builder.build()
+    return builder.build_encoded() if encoded else builder.build()

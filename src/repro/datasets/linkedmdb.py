@@ -17,7 +17,7 @@ the registry).  Planted structure, mirroring the paper's Appendix B:
 from __future__ import annotations
 
 from repro.datasets.synth import GraphBuilder, entity_names, scaled
-from repro.rdf.model import Dataset
+from repro.rdf.model import Dataset, EncodedDataset
 
 GENRES = (
     "Drama", "Comedy", "Action", "Thriller", "Horror", "Romance",
@@ -27,7 +27,7 @@ GENRES = (
 COUNTRY_CODES = ("US", "GB", "FR", "DE", "IT", "JP", "IN", "CA", "ES", "KR")
 
 
-def linkedmdb(scale: float = 1.0, seed: int = 505) -> Dataset:
+def linkedmdb(scale: float = 1.0, seed: int = 505, encoded: bool = False) -> "Dataset | EncodedDataset":
     """Generate the LinkedMDB dataset (~120k triples at scale 1; paper: 6.1M)."""
     builder = GraphBuilder("LinkedMDB", seed)
     rng = builder.rng
@@ -70,4 +70,4 @@ def linkedmdb(scale: float = 1.0, seed: int = 505) -> Dataset:
             builder.add(performance, "performance_actor", actor_chooser.choice())
             builder.add(performance, "performance_film", movie)
 
-    return builder.build()
+    return builder.build_encoded() if encoded else builder.build()

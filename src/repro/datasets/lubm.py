@@ -18,12 +18,12 @@ from __future__ import annotations
 from typing import List
 
 from repro.datasets.synth import GraphBuilder, scaled
-from repro.rdf.model import Dataset
+from repro.rdf.model import Dataset, EncodedDataset
 
 RESEARCH_AREAS = tuple(f"Research{index}" for index in range(25))
 
 
-def lubm(universities: int = 1, scale: float = 1.0, seed: int = 303) -> Dataset:
+def lubm(universities: int = 1, scale: float = 1.0, seed: int = 303, encoded: bool = False) -> "Dataset | EncodedDataset":
     """Generate a LUBM-style instance (~103k triples per university).
 
     ``universities`` matches LUBM's scaling knob; ``scale`` additionally
@@ -49,7 +49,7 @@ def lubm(universities: int = 1, scale: float = 1.0, seed: int = 303) -> Dataset:
             _generate_department(
                 builder, university, all_universities, uni_index, dept_index, scale
             )
-    return builder.build()
+    return builder.build_encoded() if encoded else builder.build()
 
 
 def _generate_department(

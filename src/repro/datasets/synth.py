@@ -14,7 +14,7 @@ from __future__ import annotations
 import random
 from typing import Iterable, List, Optional, Sequence, TypeVar
 
-from repro.rdf.model import Dataset, Triple
+from repro.rdf.model import Dataset, EncodedDataset, TermDictionary, Triple
 
 T = TypeVar("T")
 
@@ -100,6 +100,22 @@ class GraphBuilder:
     def build(self) -> Dataset:
         """Deduplicate and wrap into a :class:`Dataset`."""
         return Dataset(self._triples, name=self.name)
+
+    def build_encoded(
+        self, dictionary: Optional[TermDictionary] = None
+    ) -> EncodedDataset:
+        """Deduplicate straight into dictionary-encoded columns.
+
+        Equivalent to ``build().encode(dictionary)`` — same ids in the
+        same order (duplicate triples intern no new terms) — without
+        materializing the intermediate string :class:`Dataset`.
+        """
+        return EncodedDataset.from_terms(
+            self._triples,
+            dictionary=dictionary,
+            name=self.name,
+            deduplicate=True,
+        )
 
 
 def scaled(count: int, scale: float, minimum: int = 1) -> int:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.rdf.model import Dataset, Triple
+from repro.rdf.model import Dataset, EncodedDataset, Triple
 
 #: The example triples exactly as printed in Table 1 of the paper.
 TABLE1_TRIPLES = (
@@ -17,10 +17,14 @@ TABLE1_TRIPLES = (
 )
 
 
-def table1() -> Dataset:
+def table1(encoded: bool = False) -> "Dataset | EncodedDataset":
     """The 8-triple university example (paper Table 1).
 
     Satisfies, among others, the paper's Example 3 CIND
     ``(s, p=rdf:type ∧ o=gradStudent) ⊆ (s, p=undergradFrom)``.
     """
+    if encoded:
+        return EncodedDataset.from_terms(
+            (Triple(*row) for row in TABLE1_TRIPLES), name="Table1"
+        )
     return Dataset((Triple(*row) for row in TABLE1_TRIPLES), name="Table1")

@@ -15,6 +15,10 @@ paper).  This module provides:
   both faster and mirrors the dictionary encoding used by RDF stores.
 * :class:`EncodedDataset` — a :class:`Dataset` after dictionary encoding.
 
+``TermDictionary``, ``EncodedTriple``, and ``EncodedDataset`` live in the
+:mod:`repro.storage` subsystem (the dictionary-encoded columnar storage
+layer) and are re-exported here for the data-model consumers.
+
 Terms are plain Python strings.  Following the paper, blank nodes are
 treated like URIs and literals are kept verbatim (including any datatype or
 language annotation the source syntax carried).
@@ -26,6 +30,9 @@ import random
 from collections import Counter
 from enum import IntEnum
 from typing import Iterable, Iterator, List, NamedTuple, Optional, Sequence, Tuple
+
+from repro.storage.columnar import EncodedDataset
+from repro.storage.dictionary import EncodedTriple, TermDictionary
 
 
 class Attr(IntEnum):
@@ -82,71 +89,6 @@ class Triple(NamedTuple):
 
     def __str__(self) -> str:
         return f"({self.s}, {self.p}, {self.o})"
-
-
-class EncodedTriple(NamedTuple):
-    """A dictionary-encoded triple of integer term ids."""
-
-    s: int
-    p: int
-    o: int
-
-    def get(self, attr: Attr) -> int:
-        """Project the encoded triple onto ``attr``."""
-        return self[int(attr)]
-
-
-class TermDictionary:
-    """Bidirectional mapping between RDF terms and dense integer ids.
-
-    Ids are assigned in first-seen order starting from 0, so encoding is
-    deterministic for a fixed input order.  Decoding an unknown id raises
-    ``KeyError``; encoding always succeeds (new terms get fresh ids).
-    """
-
-    __slots__ = ("_term_to_id", "_id_to_term")
-
-    def __init__(self) -> None:
-        self._term_to_id: dict = {}
-        self._id_to_term: List[str] = []
-
-    def __len__(self) -> int:
-        return len(self._id_to_term)
-
-    def __contains__(self, term: str) -> bool:
-        return term in self._term_to_id
-
-    def encode(self, term: str) -> int:
-        """Return the id for ``term``, assigning a new one if needed."""
-        term_id = self._term_to_id.get(term)
-        if term_id is None:
-            term_id = len(self._id_to_term)
-            self._term_to_id[term] = term_id
-            self._id_to_term.append(term)
-        return term_id
-
-    def encode_existing(self, term: str) -> int:
-        """Return the id for a term that must already be present."""
-        return self._term_to_id[term]
-
-    def decode(self, term_id: int) -> str:
-        """Return the term for ``term_id``."""
-        return self._id_to_term[term_id]
-
-    def encode_triple(self, triple: Triple) -> EncodedTriple:
-        """Dictionary-encode a string triple."""
-        return EncodedTriple(
-            self.encode(triple.s), self.encode(triple.p), self.encode(triple.o)
-        )
-
-    def decode_triple(self, triple: EncodedTriple) -> Triple:
-        """Decode an encoded triple back to strings."""
-        decode = self.decode
-        return Triple(decode(triple.s), decode(triple.p), decode(triple.o))
-
-    def terms(self) -> Iterator[str]:
-        """All known terms in id order."""
-        return iter(self._id_to_term)
 
 
 class Dataset:
@@ -237,52 +179,13 @@ class Dataset:
         return Dataset(self._triples[:n], name=f"{self.name}[head:{n}]")
 
     def encode(self, dictionary: Optional[TermDictionary] = None) -> "EncodedDataset":
-        """Dictionary-encode the dataset.
+        """Dictionary-encode the dataset into a columnar representation.
 
         A fresh :class:`TermDictionary` is created unless one is supplied
-        (supplying one lets several datasets share an id space).
+        (supplying one lets several datasets share an id space).  The
+        triples are already duplicate-free, so the columns are appended
+        without a second deduplication pass.
         """
-        dictionary = dictionary if dictionary is not None else TermDictionary()
-        encoded = [dictionary.encode_triple(t) for t in self._triples]
-        return EncodedDataset(encoded, dictionary, name=self.name)
-
-
-class EncodedDataset:
-    """A dictionary-encoded RDF dataset.
-
-    This is the representation the discovery pipeline consumes: triples are
-    ``(int, int, int)`` tuples and the attached :class:`TermDictionary`
-    renders results back to strings.
-    """
-
-    __slots__ = ("triples", "dictionary", "name")
-
-    def __init__(
-        self,
-        triples: Sequence[EncodedTriple],
-        dictionary: TermDictionary,
-        name: str = "",
-    ) -> None:
-        self.triples: List[EncodedTriple] = list(triples)
-        self.dictionary = dictionary
-        self.name = name
-
-    def __len__(self) -> int:
-        return len(self.triples)
-
-    def __iter__(self) -> Iterator[EncodedTriple]:
-        return iter(self.triples)
-
-    def __repr__(self) -> str:
-        label = f" {self.name!r}" if self.name else ""
-        return f"<EncodedDataset{label}: {len(self)} triples>"
-
-    def decode(self) -> Dataset:
-        """Decode back into a string :class:`Dataset`."""
-        decode_triple = self.dictionary.decode_triple
-        return Dataset((decode_triple(t) for t in self.triples), name=self.name)
-
-    def values(self, attr: Attr) -> Counter:
-        """Frequency of each term id in position ``attr``."""
-        index = int(attr)
-        return Counter(t[index] for t in self.triples)
+        return EncodedDataset.from_terms(
+            self._triples, dictionary=dictionary, name=self.name, deduplicate=False
+        )

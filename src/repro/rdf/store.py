@@ -91,8 +91,16 @@ class TripleStore:
         p: Optional[str] = None,
         o: Optional[str] = None,
     ) -> Iterator[Triple]:
-        """Yield triples matching the pattern (None = wildcard)."""
-        candidates = self._candidates(s, p, o)
+        """Yield triples matching the pattern (None = wildcard).
+
+        A fully unbound pattern scans in sorted triple order, so repeated
+        scans (and everything built on them, e.g. SPARQL results) are
+        deterministic rather than subject to ``set`` iteration order.
+        """
+        if s is None and p is None and o is None:
+            candidates: Iterable[Triple] = sorted(self._triples)
+        else:
+            candidates = self._candidates(s, p, o)
         for triple in candidates:
             if s is not None and triple.s != s:
                 continue

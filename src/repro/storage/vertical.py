@@ -1,0 +1,338 @@
+"""Predicate-wise vertically partitioned triple store.
+
+RDF data is extremely skewed by predicate: a handful of predicates
+(``rdf:type``, labels) carry most triples.  Vertical partitioning — one
+(s, o) column pair per predicate id — exploits that: a pattern with a
+bound predicate touches exactly one partition, and the store needs no
+per-triple Python objects at all.  This is the classic design of
+SW-Store / the compressed vertical-partitioning line of work cited in
+PAPERS.md, applied to this reproduction's in-memory scale.
+
+:class:`VerticalPartitionStore` exposes the same string-level
+``match(s, p, o)`` primitive (``None`` = wildcard) as
+:class:`repro.rdf.store.TripleStore`, so SPARQL evaluation and query
+minimization run unchanged on either store.  Subject- and object-bound
+patterns without a predicate are served by posting lists that pack
+``(predicate id, row offset)`` into single 64-bit ints, keeping the
+secondary indexes columnar too.
+
+Iteration and full scans are deterministic: ascending predicate id, then
+insertion order within the partition.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, Iterable, Iterator, Optional, Set, Tuple
+
+from repro.rdf.model import Dataset, Triple
+from repro.storage.columnar import EncodedDataset
+from repro.storage.dictionary import EncodedTriple, TermDictionary
+
+#: Packing shift for posting-list entries: entry = (p_id << 32) | offset.
+_OFFSET_BITS = 32
+_OFFSET_MASK = (1 << _OFFSET_BITS) - 1
+
+
+class VerticalPartitionStore:
+    """An in-memory triple store partitioned by predicate id.
+
+    Layout: ``partitions[p_id] = (s_column, o_column)`` parallel arrays,
+    plus packed posting lists by subject id and object id for patterns
+    that do not bind the predicate.
+    """
+
+    def __init__(
+        self,
+        triples: Iterable = (),
+        dictionary: Optional[TermDictionary] = None,
+    ) -> None:
+        self.dictionary = dictionary if dictionary is not None else TermDictionary()
+        self._partitions: Dict[int, Tuple[array, array]] = {}
+        self._s_postings: Dict[int, array] = {}
+        self._o_postings: Dict[int, array] = {}
+        self._size = 0
+        for triple in triples:
+            self.add(triple)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_dataset(cls, dataset: Dataset) -> "VerticalPartitionStore":
+        """Index a string dataset (encodes it on the way in)."""
+        store = cls()
+        append = store._append_ids
+        encode = store.dictionary.encode
+        for s, p, o in dataset:
+            append(encode(s), encode(p), encode(o))
+        return store
+
+    @classmethod
+    def from_encoded(cls, encoded: EncodedDataset) -> "VerticalPartitionStore":
+        """Index an already-encoded columnar dataset (shares its dictionary).
+
+        The dataset's set semantics are trusted — rows are not re-checked
+        for duplicates.
+        """
+        store = cls(dictionary=encoded.dictionary)
+        append = store._append_ids
+        s_col, p_col, o_col = encoded.columns
+        for index in range(len(s_col)):
+            append(s_col[index], p_col[index], o_col[index])
+        return store
+
+    def _append_ids(self, s_id: int, p_id: int, o_id: int) -> None:
+        """Append one encoded triple without a duplicate check."""
+        partition = self._partitions.get(p_id)
+        if partition is None:
+            partition = (array("q"), array("q"))
+            self._partitions[p_id] = partition
+        s_column, o_column = partition
+        offset = len(s_column)
+        s_column.append(s_id)
+        o_column.append(o_id)
+        packed = (p_id << _OFFSET_BITS) | offset
+        posting = self._s_postings.get(s_id)
+        if posting is None:
+            posting = self._s_postings[s_id] = array("q")
+        posting.append(packed)
+        posting = self._o_postings.get(o_id)
+        if posting is None:
+            posting = self._o_postings[o_id] = array("q")
+        posting.append(packed)
+        self._size += 1
+
+    def add(self, triple) -> bool:
+        """Insert a string triple; returns True if it was new."""
+        encode = self.dictionary.encode
+        s_id, p_id, o_id = encode(triple[0]), encode(triple[1]), encode(triple[2])
+        if self._contains_ids(s_id, p_id, o_id):
+            return False
+        self._append_ids(s_id, p_id, o_id)
+        return True
+
+    def add_all(self, triples: Iterable) -> int:
+        """Insert many string triples; returns the number that were new."""
+        return sum(1 for triple in triples if self.add(triple))
+
+    # ------------------------------------------------------------------
+    # membership and size
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _contains_ids(self, s_id: int, p_id: int, o_id: int) -> bool:
+        partition = self._partitions.get(p_id)
+        if partition is None:
+            return False
+        s_column, o_column = partition
+        posting = self._s_postings.get(s_id, ())
+        for packed in posting:
+            if packed >> _OFFSET_BITS == p_id:
+                offset = packed & _OFFSET_MASK
+                if o_column[offset] == o_id:
+                    return True
+        return False
+
+    def __contains__(self, triple) -> bool:
+        lookup = self.dictionary.lookup
+        ids = (lookup(triple[0]), lookup(triple[1]), lookup(triple[2]))
+        if None in ids:
+            return False
+        return self._contains_ids(*ids)
+
+    def __iter__(self) -> Iterator[Triple]:
+        """All triples: ascending predicate id, then insertion order."""
+        return self.match()
+
+    # ------------------------------------------------------------------
+    # pattern matching
+    # ------------------------------------------------------------------
+
+    def match(
+        self,
+        s: Optional[str] = None,
+        p: Optional[str] = None,
+        o: Optional[str] = None,
+    ) -> Iterator[Triple]:
+        """Yield string triples matching the pattern (None = wildcard).
+
+        Same contract as :meth:`repro.rdf.store.TripleStore.match`; the
+        bound terms are looked up in the dictionary first, so a pattern
+        with an unknown term matches nothing without touching a column.
+        """
+        lookup = self.dictionary.lookup
+        s_id = p_id = o_id = None
+        if s is not None:
+            s_id = lookup(s)
+            if s_id is None:
+                return
+        if p is not None:
+            p_id = lookup(p)
+            if p_id is None:
+                return
+        if o is not None:
+            o_id = lookup(o)
+            if o_id is None:
+                return
+        decode = self.dictionary.decode
+        for row_s, row_p, row_o in self.match_ids(s_id, p_id, o_id):
+            yield Triple(decode(row_s), decode(row_p), decode(row_o))
+
+    def match_ids(
+        self,
+        s_id: Optional[int] = None,
+        p_id: Optional[int] = None,
+        o_id: Optional[int] = None,
+    ) -> Iterator[EncodedTriple]:
+        """Integer fast path of :meth:`match`: ids in, encoded triples out."""
+        if p_id is not None:
+            partition = self._partitions.get(p_id)
+            if partition is None:
+                return
+            s_column, o_column = partition
+            if s_id is None and o_id is None:
+                for offset in range(len(s_column)):
+                    yield EncodedTriple(s_column[offset], p_id, o_column[offset])
+                return
+            # Probe the smaller side through the posting lists.
+            yield from self._scan_postings(
+                self._postings_for(s_id, o_id), s_id, p_id, o_id
+            )
+            return
+        if s_id is not None or o_id is not None:
+            yield from self._scan_postings(
+                self._postings_for(s_id, o_id), s_id, None, o_id
+            )
+            return
+        for partition_p in sorted(self._partitions):
+            s_column, o_column = self._partitions[partition_p]
+            for offset in range(len(s_column)):
+                yield EncodedTriple(s_column[offset], partition_p, o_column[offset])
+
+    def _postings_for(self, s_id: Optional[int], o_id: Optional[int]) -> array:
+        """The shortest applicable posting list for the bound s/o ids."""
+        empty = array("q")
+        if s_id is not None and o_id is not None:
+            by_s = self._s_postings.get(s_id, empty)
+            by_o = self._o_postings.get(o_id, empty)
+            return by_s if len(by_s) <= len(by_o) else by_o
+        if s_id is not None:
+            return self._s_postings.get(s_id, empty)
+        return self._o_postings.get(o_id, empty)
+
+    def _scan_postings(
+        self,
+        postings: array,
+        s_id: Optional[int],
+        p_id: Optional[int],
+        o_id: Optional[int],
+    ) -> Iterator[EncodedTriple]:
+        """Filter a posting list against the remaining bound positions."""
+        partitions = self._partitions
+        for packed in postings:
+            row_p = packed >> _OFFSET_BITS
+            if p_id is not None and row_p != p_id:
+                continue
+            offset = packed & _OFFSET_MASK
+            s_column, o_column = partitions[row_p]
+            row_s = s_column[offset]
+            row_o = o_column[offset]
+            if s_id is not None and row_s != s_id:
+                continue
+            if o_id is not None and row_o != o_id:
+                continue
+            yield EncodedTriple(row_s, row_p, row_o)
+
+    def count(
+        self,
+        s: Optional[str] = None,
+        p: Optional[str] = None,
+        o: Optional[str] = None,
+    ) -> int:
+        """Number of triples matching the pattern."""
+        return sum(1 for _ in self.match(s, p, o))
+
+    def cardinality_estimate(
+        self,
+        s: Optional[str] = None,
+        p: Optional[str] = None,
+        o: Optional[str] = None,
+    ) -> int:
+        """Cheap upper bound on the match count.
+
+        The tightest single-position bucket among the bound positions: a
+        partition size for ``p``, a posting-list length for ``s``/``o``.
+        """
+        lookup = self.dictionary.lookup
+        bounds = []
+        if p is not None:
+            p_id = lookup(p)
+            if p_id is None:
+                return 0
+            partition = self._partitions.get(p_id)
+            bounds.append(len(partition[0]) if partition else 0)
+        if s is not None:
+            s_id = lookup(s)
+            if s_id is None:
+                return 0
+            bounds.append(len(self._s_postings.get(s_id, ())))
+        if o is not None:
+            o_id = lookup(o)
+            if o_id is None:
+                return 0
+            bounds.append(len(self._o_postings.get(o_id, ())))
+        return min(bounds) if bounds else self._size
+
+    # ------------------------------------------------------------------
+    # vocabulary views and export
+    # ------------------------------------------------------------------
+
+    def subjects(self) -> Set[str]:
+        """Distinct subjects."""
+        decode = self.dictionary.decode
+        return {decode(s_id) for s_id in self._s_postings}
+
+    def predicates(self) -> Set[str]:
+        """Distinct predicates."""
+        decode = self.dictionary.decode
+        return {decode(p_id) for p_id in self._partitions}
+
+    def objects(self) -> Set[str]:
+        """Distinct objects."""
+        decode = self.dictionary.decode
+        return {decode(o_id) for o_id in self._o_postings}
+
+    def predicate_ids(self) -> Tuple[int, ...]:
+        """The partition keys, ascending."""
+        return tuple(sorted(self._partitions))
+
+    def partition(self, p_id: int) -> Optional[Tuple[array, array]]:
+        """The (s, o) column pair of one predicate (do not mutate)."""
+        return self._partitions.get(p_id)
+
+    def to_dataset(self, name: str = "") -> Dataset:
+        """Materialize the store contents as a sorted :class:`Dataset`."""
+        return Dataset(sorted(self.match()), name=name)
+
+    def nbytes(self) -> int:
+        """Resident-set proxy: column payload plus posting-list payload."""
+        columns = sum(
+            s.itemsize * len(s) + o.itemsize * len(o)
+            for s, o in self._partitions.values()
+        )
+        postings = sum(
+            p.itemsize * len(p)
+            for index in (self._s_postings, self._o_postings)
+            for p in index.values()
+        )
+        return columns + postings
+
+    def __repr__(self) -> str:
+        return (
+            f"<VerticalPartitionStore: {self._size} triples in "
+            f"{len(self._partitions)} predicate partitions>"
+        )

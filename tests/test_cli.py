@@ -24,6 +24,18 @@ class TestCli:
         )
         assert "pertinent" in out and "⊆" in out
 
+    def test_discover_storage_variants_identical(self, capsys):
+        outputs = {}
+        for storage in ("strings", "encoded"):
+            out = run(
+                capsys, "discover", "dataset:Countries", "--scale", "0.1",
+                "-s", "5", "-n", "10", "--storage", storage,
+            )
+            # drop the header line, whose timings differ between runs
+            outputs[storage] = out.splitlines()[1:]
+        assert outputs["encoded"] == outputs["strings"]
+        assert outputs["encoded"]
+
     def test_discover_variant_de(self, capsys):
         out = run(
             capsys, "discover", "dataset:Countries", "--scale", "0.1",

@@ -7,6 +7,7 @@ from repro.dataflow.engine import (
     DataSet,
     ExecutionEnvironment,
     SimulatedOutOfMemory,
+    record_cells,
 )
 
 
@@ -230,6 +231,43 @@ class TestMemoryBudget:
             assert error.records > 2
         else:  # pragma: no cover
             pytest.fail("expected SimulatedOutOfMemory")
+
+
+class TestSourceCostAccounting:
+    def test_record_cells_pricing(self):
+        assert record_cells(7) == 1
+        assert record_cells("ab") == 1
+        assert record_cells("x" * 16) == 3
+        assert record_cells((1, 2, 3)) == 3  # an EncodedTriple
+        assert record_cells(((1, 2), "12345678")) == 4
+
+    def test_costed_source_within_budget(self):
+        environment = env(2, memory_budget=10)
+        ds = environment.from_collection(
+            [(1, 2, 3)] * 6, cost_fn=record_cells
+        )
+        assert ds.count() == 6  # 3 triples x 3 cells per worker = 9 <= 10
+
+    def test_costed_source_over_budget_raises(self):
+        environment = env(1, memory_budget=10)
+        with pytest.raises(SimulatedOutOfMemory):
+            environment.from_collection(
+                [(1, 2, 3)] * 6, cost_fn=record_cells
+            )
+
+    def test_costed_source_records_peak_state(self):
+        environment = env(2)
+        environment.from_collection(
+            [(1, 2, 3)] * 6, name="src", cost_fn=record_cells
+        )
+        stage = environment.metrics.stages[-1]
+        assert stage.name == "src"
+        assert stage.peak_state_cost == 9
+
+    def test_uncosted_source_holds_records_for_free(self):
+        environment = env(1, memory_budget=10)
+        ds = environment.from_collection([(1, 2, 3)] * 6)
+        assert ds.count() == 6
 
 
 class TestMetrics:

@@ -65,6 +65,11 @@ class TestMatch:
     def test_unbound_scans_all(self, store):
         assert store.count() == 8
 
+    def test_unbound_scan_is_sorted_and_deterministic(self, store):
+        scan = list(store.match())
+        assert scan == sorted(store)
+        assert scan == list(store.match())
+
     def test_no_match(self, store):
         assert store.count(s="nobody") == 0
 
