@@ -1,0 +1,120 @@
+"""Parallel scaling: the process executor on real cores.
+
+Unlike Figure 9 (which reports *simulated* parallel runtime), this bench
+measures *real* end-to-end wall-clock of the process-pool executor
+against the serial reference, at 1/2/4 workers:
+
+* overhead on the smallest dataset (Countries) — where per-stage IPC and
+  pickling dominate and serial should win;
+* speedup on a mid-size dataset (Diseasome) — where per-partition operator
+  work is large enough to amortize the pool.
+
+Output equality is asserted on every run: the process backend must be a
+pure performance substitution.
+
+The measured speedup is bounded by the machine: with C available cores,
+no worker count can exceed C-fold gains.  The ≥1.5x assertion therefore
+only arms when the machine actually has ≥4 cores (CI and laptop boxes);
+on smaller machines the bench still runs, reports honestly, and checks
+output equality plus the overhead characterization.
+"""
+
+from repro.dataflow.executors import available_cores
+
+from benchmarks.conftest import once
+
+WORKER_COUNTS = (1, 2, 4)
+
+#: Discovery configuration: mid-size Table 2 dataset, knowledge-discovery
+#: support threshold (the paper's h=25 regime), parallelism 4 so there is
+#: one partition per worker at the widest pool.
+SPEEDUP_DATASET = "Diseasome"
+OVERHEAD_DATASET = "Countries"
+H = 25
+PARALLELISM = 4
+
+
+def _identical(a, b):
+    return (
+        a.cinds == b.cinds
+        and a.association_rules == b.association_rules
+    )
+
+
+def test_parallel_scaling(benchmark, report, cache):
+    def body():
+        rows = {}
+        serial_result, serial_seconds = cache.run(
+            SPEEDUP_DATASET, H, parallelism=PARALLELISM, executor="serial"
+        )
+        rows["serial"] = (serial_result, serial_seconds)
+        for workers in WORKER_COUNTS:
+            rows[workers] = cache.run(
+                SPEEDUP_DATASET,
+                H,
+                parallelism=PARALLELISM,
+                executor="process",
+                workers=workers,
+            )
+        small_serial = cache.run(
+            OVERHEAD_DATASET, H, parallelism=PARALLELISM, executor="serial"
+        )
+        small_process = cache.run(
+            OVERHEAD_DATASET,
+            H,
+            parallelism=PARALLELISM,
+            executor="process",
+            workers=PARALLELISM,
+        )
+        return rows, small_serial, small_process
+
+    rows, small_serial, small_process = once(benchmark, body)
+    cores = available_cores()
+
+    serial_result, serial_seconds = rows["serial"]
+    section = report.section(
+        f"Parallel scaling — process executor, {SPEEDUP_DATASET} h={H} "
+        f"(real wall-clock; {cores} core(s) available)"
+    )
+    section.row(
+        f"{'backend':>12} | {'seconds':>8} | {'speedup':>8} | output"
+    )
+    section.row(f"{'serial':>12} | {serial_seconds:>8.2f} | {'1.00x':>8} | reference")
+    speedups = {}
+    for workers in WORKER_COUNTS:
+        result, seconds = rows[workers]
+        speedups[workers] = serial_seconds / seconds
+        same = _identical(serial_result, result)
+        section.row(
+            f"{f'process x{workers}':>12} | {seconds:>8.2f} | "
+            f"{speedups[workers]:>7.2f}x | {'identical' if same else 'DIFFERS'}"
+        )
+        assert same, f"process x{workers} output differs from serial"
+
+    small_serial_seconds = small_serial[1]
+    small_process_seconds = small_process[1]
+    overhead = small_process_seconds / small_serial_seconds
+    section.row(
+        f"overhead floor ({OVERHEAD_DATASET}): serial "
+        f"{small_serial_seconds:.2f}s vs process x{PARALLELISM} "
+        f"{small_process_seconds:.2f}s ({overhead:.2f}x slower — "
+        f"IPC dominates tiny inputs; use --executor serial there)"
+    )
+    assert _identical(small_serial[0], small_process[0])
+
+    if cores >= 4:
+        # The acceptance criterion: real multi-core machines must see a
+        # real speedup at 4 workers.
+        assert speedups[4] >= 1.5, (
+            f"expected >=1.5x at 4 workers on {cores} cores, "
+            f"got {speedups[4]:.2f}x"
+        )
+        section.row(
+            f"acceptance: {speedups[4]:.2f}x >= 1.5x at 4 workers (PASS)"
+        )
+    else:
+        section.row(
+            f"acceptance check skipped: only {cores} core(s) available — "
+            f"no worker count can beat serial here; measured "
+            f"{speedups[4]:.2f}x at 4 workers is the IPC-overhead floor"
+        )

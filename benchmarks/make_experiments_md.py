@@ -123,6 +123,17 @@ VERDICTS: Dict[str, str] = {
         "vertical-partitioning design of the in-memory RDF stores the "
         "paper builds on."
     ),
+    "Parallel scaling": (
+        "**Verdict — infrastructure landed; speedup is hardware-gated.** "
+        "The process executor produces byte-identical CINDs/ARs to serial "
+        "on every run (asserted). On a single-core container the bench "
+        "instead characterizes the overhead floor: per-stage pickling/IPC "
+        "multiplies wall-clock ~4-5× with zero cores to win back, which "
+        "is why `serial` stays the default. The ≥1.5× at 4 workers "
+        "acceptance assertion arms automatically on machines with ≥4 "
+        "cores, where the compute-dense stages (cg/evidences at ~37 "
+        "µs/record) dominate and parallelize."
+    ),
 }
 
 _SECTION_RE = re.compile(r"^=+ (.+?) =+$")
@@ -137,7 +148,7 @@ def extract_sections(log_text: str) -> List[Tuple[str, List[str]]]:
         match = _SECTION_RE.match(line.strip())
         if match and any(
             match.group(1).startswith(prefix)
-            for prefix in ("Table", "Figure", "Section", "Storage")
+            for prefix in ("Table", "Figure", "Section", "Storage", "Parallel")
         ):
             if title is not None:
                 sections.append((title, current))

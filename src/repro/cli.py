@@ -23,6 +23,7 @@ Inputs are N-Triples files, Turtle files (``.ttl``), or
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -92,6 +93,32 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--storage", choices=("strings", "encoded"), default="encoded",
         help="physical triple layout (dictionary-encoded columns by default)",
     )
+    _add_executor_flags(parser)
+
+
+def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--executor", choices=("serial", "process"), default=None,
+        help="dataflow backend: 'serial' (inline, default) or 'process' "
+        "(persistent process pool on real cores)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool size (default: min(parallelism, cores))",
+    )
+
+
+def _apply_executor_flags(args: argparse.Namespace) -> None:
+    """Publish --executor/--workers as environment defaults.
+
+    ``RDFindConfig`` reads RDFIND_EXECUTOR / RDFIND_WORKERS as its
+    defaults, so setting the environment here makes the choice reach every
+    config the subcommands build internally (funnel, profile, rank, ...).
+    """
+    if getattr(args, "executor", None):
+        os.environ["RDFIND_EXECUTOR"] = args.executor
+    if getattr(args, "workers", None):
+        os.environ["RDFIND_WORKERS"] = str(args.workers)
 
 
 def _discover(args: argparse.Namespace) -> DiscoveryResult:
@@ -137,7 +164,8 @@ def cmd_discover(args: argparse.Namespace) -> int:
         f"{stats.num_triples:,} triples -> {len(result.cinds):,} pertinent "
         f"CINDs, {len(result.association_rules):,} ARs "
         f"in {result.elapsed_seconds:.2f}s "
-        f"(simulated parallel {result.metrics.simulated_parallel_seconds:.2f}s)"
+        f"(simulated parallel {result.metrics.simulated_parallel_seconds:.2f}s, "
+        f"executor={result.metrics.executor} x{result.metrics.workers})"
     )
     for line in result.render_cinds(args.limit):
         print(" ", line)
@@ -337,6 +365,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--storage", choices=("strings", "encoded"), default="encoded",
         help="physical triple layout (dictionary-encoded columns by default)",
     )
+    _add_executor_flags(profile)
     profile.add_argument("-n", "--limit", type=int, default=10)
 
     return parser
@@ -361,6 +390,7 @@ _COMMANDS = {
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
+    _apply_executor_flags(args)
     return _COMMANDS[args.command](args)
 
 

@@ -34,34 +34,48 @@ from repro.core.conditions import (
     is_binary,
 )
 from repro.core.frequent_conditions import FrequentConditions
-from repro.dataflow.engine import DataSet, ExecutionEnvironment
+from repro.dataflow.engine import DataSet, ExecutionEnvironment, pair_key
 from repro.rdf.model import Attr, EncodedTriple
 
 #: A capture group: the set of captures that share one common value.
 CaptureGroup = FrozenSet[Capture]
 
 
-def _evidence_emitter(
-    scope: ConditionScope, frequent: Optional[FrequentConditions]
-):
-    """Build the per-triple evidence function (Algorithm 2)."""
-    projections: List[Tuple[Attr, Tuple[Attr, ...]]] = [
-        (attr, scope.condition_attrs_for(attr))
-        for attr in sorted(scope.projection_attrs)
-    ]
-    if frequent is not None:
-        unary_bloom = frequent.unary_bloom
-        binary_bloom = frequent.binary_bloom
-        rules = frequent.rule_set
-    else:
-        unary_bloom = binary_bloom = None
-        rules = frozenset()
-    allow_binary = scope.allow_binary
+class _EvidenceEmitter:
+    """The per-triple evidence function (Algorithm 2).
 
-    def emit(triple: EncodedTriple) -> Iterator[Tuple[int, Capture]]:
-        for alpha, condition_attrs in projections:
+    A module-level class rather than a closure so the process executor can
+    pickle it; the Bloom filters and rule set travel with the instance to
+    each pool worker once per stage.
+    """
+
+    __slots__ = ("projections", "unary_bloom", "binary_bloom", "rules", "allow_binary")
+
+    def __init__(
+        self, scope: ConditionScope, frequent: Optional[FrequentConditions]
+    ) -> None:
+        self.projections: Tuple[Tuple[Attr, Tuple[Attr, ...]], ...] = tuple(
+            (attr, scope.condition_attrs_for(attr))
+            for attr in sorted(scope.projection_attrs)
+        )
+        if frequent is not None:
+            self.unary_bloom = frequent.unary_bloom
+            self.binary_bloom = frequent.binary_bloom
+            self.rules = frozenset(frequent.rule_set)
+        else:
+            self.unary_bloom = self.binary_bloom = None
+            self.rules = frozenset()
+        self.allow_binary = scope.allow_binary
+
+    def __call__(
+        self, triple: EncodedTriple
+    ) -> Iterator[Tuple[int, Capture]]:
+        unary_bloom = self.unary_bloom
+        binary_bloom = self.binary_bloom
+        rules = self.rules
+        for alpha, condition_attrs in self.projections:
             value = triple[int(alpha)]
-            if len(condition_attrs) == 2 and allow_binary:
+            if len(condition_attrs) == 2 and self.allow_binary:
                 beta, gamma = condition_attrs
                 v_beta = triple[int(beta)]
                 v_gamma = triple[int(gamma)]
@@ -90,8 +104,6 @@ def _evidence_emitter(
                     unary = UnaryCondition(attr, triple[int(attr)])
                     if unary_bloom is None or unary in unary_bloom:
                         yield value, Capture(alpha, unary)
-
-    return emit
 
 
 def expand_captures(captures: Set[Capture]) -> CaptureGroup:
@@ -135,11 +147,11 @@ def create_capture_groups(
     """
     scope = scope if scope is not None else ConditionScope.full()
     evidences = triples.flat_map(
-        _evidence_emitter(scope, frequent), name="cg/evidences"
+        _EvidenceEmitter(scope, frequent), name="cg/evidences"
     )
     grouped = evidences.reduce_by_key(
-        key_fn=lambda pair: pair[0],
-        value_fn=lambda pair: {pair[1]},
+        key_fn=pair_key,
+        value_fn=_singleton_capture_set,
         reduce_fn=_merge_sets,
         name="cg/group-by-value",
     )
@@ -149,9 +161,17 @@ def create_capture_groups(
     # otherwise pile onto single workers ("the capture groups are
     # distributed among the workers after this step").
     rebalanced = grouped.rebalance(name="cg/rebalance")
-    return rebalanced.map(
-        lambda pair: expand_captures(pair[1]), name="cg/expand"
-    )
+    return rebalanced.map(_expand_group_value, name="cg/expand")
+
+
+def _singleton_capture_set(pair: Tuple[int, Capture]) -> Set[Capture]:
+    """Seed accumulator for one evidence record."""
+    return {pair[1]}
+
+
+def _expand_group_value(pair: Tuple[int, Set[Capture]]) -> CaptureGroup:
+    """Drop the grouping value and expand subsumed unary captures."""
+    return expand_captures(pair[1])
 
 
 def _merge_sets(a: Set[Capture], b: Set[Capture]) -> Set[Capture]:

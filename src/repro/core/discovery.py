@@ -20,6 +20,7 @@ exposes the ablation variants of Section 8.5 as configuration presets:
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Union
@@ -47,6 +48,7 @@ from repro.core.frequent_conditions import (
 )
 from repro.core.minimality import broad_cind_list, consolidate_pertinent
 from repro.dataflow.engine import ExecutionEnvironment, record_cells
+from repro.dataflow.executors import EXECUTOR_NAMES
 from repro.dataflow.gcpause import gc_paused
 from repro.dataflow.metrics import JobMetrics
 from repro.rdf.model import Dataset, EncodedDataset, TermDictionary
@@ -91,6 +93,16 @@ class RDFindConfig:
         columns and charges the source against the memory budget by
         cell cost; ``"strings"`` keeps the record-at-a-time dataflow
         paths.  Both produce identical results.
+    executor:
+        Dataflow backend: ``"serial"`` (default) runs partition tasks
+        inline; ``"process"`` runs them concurrently on a persistent
+        process pool — real multi-core execution with byte-identical
+        output.  Defaults from the ``RDFIND_EXECUTOR`` environment
+        variable when set (how the CLI and CI propagate the choice).
+    workers:
+        Pool size for the ``process`` executor (defaults to
+        ``min(parallelism, available cores)``; ``RDFIND_WORKERS``
+        overrides when set).
     """
 
     support_threshold: int = 25
@@ -105,6 +117,16 @@ class RDFindConfig:
     memory_budget: Optional[int] = None
     keep_broad_cinds: bool = False
     storage: str = "encoded"
+    executor: str = field(
+        default_factory=lambda: os.environ.get("RDFIND_EXECUTOR", "serial")
+    )
+    workers: Optional[int] = field(
+        default_factory=lambda: (
+            int(os.environ["RDFIND_WORKERS"])
+            if os.environ.get("RDFIND_WORKERS")
+            else None
+        )
+    )
 
     def __post_init__(self) -> None:
         if self.support_threshold < 1:
@@ -117,6 +139,12 @@ class RDFindConfig:
             raise ValueError(
                 f"storage must be 'strings' or 'encoded', got {self.storage!r}"
             )
+        if self.executor not in EXECUTOR_NAMES:
+            raise ValueError(
+                f"executor must be one of {EXECUTOR_NAMES}, got {self.executor!r}"
+            )
+        if self.workers is not None and self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
 
     @classmethod
     def direct_extraction(cls, **overrides) -> "RDFindConfig":
@@ -215,6 +243,8 @@ class DiscoveryResult:
             "broad_cinds": self.stats.num_broad_cinds,
             "elapsed_seconds": self.elapsed_seconds,
             "simulated_parallel_seconds": self.metrics.simulated_parallel_seconds,
+            "executor": self.config.executor,
+            "workers": self.metrics.workers,
         }
 
     def __repr__(self) -> str:
@@ -255,38 +285,45 @@ class RDFind:
             parallelism=config.parallelism,
             memory_budget=config.memory_budget,
             name=f"{config.variant_name}(h={config.support_threshold})",
+            executor=config.executor,
+            workers=config.workers,
         )
-        use_columns = config.storage == "encoded"
-        triples = env.from_collection(
-            encoded,
-            name="source/triples",
-            cost_fn=record_cells if use_columns else None,
-        )
-
-        frequent: Optional[FrequentConditions] = None
-        if config.prune_infrequent_conditions:
-            frequent = detect_frequent_conditions(
-                env,
-                triples,
-                h=config.support_threshold,
-                scope=config.scope,
-                fp_rate=config.bloom_fp_rate,
-                columns=encoded if use_columns else None,
+        try:
+            use_columns = config.storage == "encoded"
+            triples = env.from_collection(
+                encoded,
+                name="source/triples",
+                cost_fn=record_cells if use_columns else None,
             )
 
-        groups = create_capture_groups(
-            env, triples, scope=config.scope, frequent=frequent
-        )
+            frequent: Optional[FrequentConditions] = None
+            if config.prune_infrequent_conditions:
+                frequent = detect_frequent_conditions(
+                    env,
+                    triples,
+                    h=config.support_threshold,
+                    scope=config.scope,
+                    fp_rate=config.bloom_fp_rate,
+                    columns=encoded if use_columns else None,
+                )
 
-        extraction_config = ExtractionConfig(
-            h=config.support_threshold,
-            prune_capture_support=config.prune_capture_support,
-            balance_dominant_groups=config.balance_dominant_groups,
-            candidate_bloom_bits=config.candidate_bloom_bits,
-            candidate_bloom_hashes=config.candidate_bloom_hashes,
-        )
-        broad, extraction_stats = extract_broad_cinds(env, groups, extraction_config)
-        pertinent = consolidate_pertinent(broad)
+            groups = create_capture_groups(
+                env, triples, scope=config.scope, frequent=frequent
+            )
+
+            extraction_config = ExtractionConfig(
+                h=config.support_threshold,
+                prune_capture_support=config.prune_capture_support,
+                balance_dominant_groups=config.balance_dominant_groups,
+                candidate_bloom_bits=config.candidate_bloom_bits,
+                candidate_bloom_hashes=config.candidate_bloom_hashes,
+            )
+            broad, extraction_stats = extract_broad_cinds(
+                env, groups, extraction_config
+            )
+            pertinent = consolidate_pertinent(broad)
+        finally:
+            env.close()
 
         elapsed = time.perf_counter() - started
         stats = DiscoveryStats(

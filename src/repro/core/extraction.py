@@ -37,12 +37,20 @@ self-hit exactly as it corrects other false positives.
 
 from __future__ import annotations
 
+import operator
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple, Union
 
 from repro.core.cind import Capture
 from repro.dataflow.bloom import BloomFilter
-from repro.dataflow.engine import DataSet, ExecutionEnvironment, SimulatedOutOfMemory
+from repro.dataflow.engine import (
+    DataSet,
+    ExecutionEnvironment,
+    SimulatedOutOfMemory,
+    pair_key,
+    pair_value,
+)
 
 #: Referenced-capture collection of a candidate set: exact or approximate.
 Refs = Union[FrozenSet[Capture], BloomFilter]
@@ -129,7 +137,7 @@ def extract_broad_cinds(
     # dependent capture seen so far) is what the memory budget prices —
     # exactly the footprint that kills RDFind-DE on dominant groups.
     merged = groups.flat_map_reduce_by_key(
-        _candidate_emitter(config, average_load),
+        _CandidateEmitter(config, average_load),
         _merge_candidate_values,
         state_cost_fn=_candidate_state_cost,
         name="ex/merge-candidates",
@@ -138,7 +146,7 @@ def extract_broad_cinds(
         env.metrics.stage_by_name("ex/merge-candidates").peak_state_cost
     )
     broad = merged.filter(
-        lambda pair: pair[1][1] >= config.h, name="ex/broadness-filter"
+        partial(_support_at_least, config.h), name="ex/broadness-filter"
     )
 
     certain: BroadCINDs = {}
@@ -172,6 +180,26 @@ def extract_broad_cinds(
 # ----------------------------------------------------------------------
 
 
+def _emit_capture_counters(
+    group: FrozenSet[Capture],
+) -> Iterator[Tuple[Capture, int]]:
+    for capture in group:
+        yield capture, 1
+
+
+def _support_below(h: int, pair: Tuple[Capture, int]) -> bool:
+    return pair[1] < h
+
+
+def _support_at_least(h: int, pair) -> bool:
+    """Broadness filter on ``(dependent, (refs, count, approx))`` pairs."""
+    return pair[1][1] >= h
+
+
+def _difference_from(prunable: FrozenSet[Capture], group: FrozenSet[Capture]):
+    return group.difference(prunable)
+
+
 def _prune_capture_support(
     env: ExecutionEnvironment,
     groups: DataSet,
@@ -179,20 +207,19 @@ def _prune_capture_support(
     stats: ExtractionStats,
 ) -> DataSet:
     supports = groups.flat_map(
-        lambda group: ((capture, 1) for capture in group),
-        name="ex/capture-counters",
+        _emit_capture_counters, name="ex/capture-counters"
     ).reduce_by_key(
-        key_fn=lambda pair: pair[0],
-        value_fn=lambda pair: pair[1],
-        reduce_fn=lambda a, b: a + b,
+        key_fn=pair_key,
+        value_fn=pair_value,
+        reduce_fn=operator.add,
         name="ex/capture-support",
     )
     stats.captures_total = supports.count()
-    prunable = set(
+    prunable = frozenset(
         supports.filter(
-            lambda pair: pair[1] < config.h, name="ex/prunable-filter"
+            partial(_support_below, config.h), name="ex/prunable-filter"
         )
-        .map(lambda pair: pair[0], name="ex/prunable-captures")
+        .map(pair_key, name="ex/prunable-captures")
         .broadcast(name="ex/prunable-broadcast")
     )
     stats.captures_pruned = len(prunable)
@@ -200,8 +227,8 @@ def _prune_capture_support(
         stats.groups_after_pruning = stats.groups_total
         return groups
     pruned = groups.map(
-        lambda group: group.difference(prunable), name="ex/prune-groups"
-    ).filter(lambda group: len(group) > 0, name="ex/drop-empty-groups")
+        partial(_difference_from, prunable), name="ex/prune-groups"
+    ).filter(len, name="ex/drop-empty-groups")
     stats.groups_after_pruning = pruned.count()
     return pruned
 
@@ -211,11 +238,16 @@ def _prune_capture_support(
 # ----------------------------------------------------------------------
 
 
+def _partition_load(
+    partition: List[FrozenSet[Capture]], _worker: int
+) -> List[int]:
+    return [sum(len(g) ** 2 for g in partition)]
+
+
 def _average_worker_load(env: ExecutionEnvironment, groups: DataSet) -> float:
     """Average per-worker processing load, estimated as sum of |G|^2."""
     partial_loads = groups.map_partition(
-        lambda partition, _worker: [sum(len(g) ** 2 for g in partition)],
-        name="ex/estimate-loads",
+        _partition_load, name="ex/estimate-loads"
     ).collect(name="ex/collect-loads")
     total = sum(partial_loads)
     return total / env.parallelism
@@ -226,23 +258,32 @@ def _average_worker_load(env: ExecutionEnvironment, groups: DataSet) -> float:
 # ----------------------------------------------------------------------
 
 
-def _candidate_emitter(config: ExtractionConfig, average_load: float):
-    """Per-group candidate-set producer (consumed by the fused reduce)."""
+class _CandidateEmitter:
+    """Per-group candidate-set producer (consumed by the fused reduce).
 
-    def emit(group: FrozenSet[Capture]) -> Iterator[Tuple[Capture, CandidateValue]]:
+    A module-level class so the fused combine task stays picklable under
+    the process executor.
+    """
+
+    __slots__ = ("bloom_bits", "bloom_hashes", "average_load")
+
+    def __init__(self, config: ExtractionConfig, average_load: float) -> None:
+        self.bloom_bits = config.candidate_bloom_bits
+        self.bloom_hashes = config.candidate_bloom_hashes
+        self.average_load = average_load
+
+    def __call__(
+        self, group: FrozenSet[Capture]
+    ) -> Iterator[Tuple[Capture, CandidateValue]]:
         size = len(group)
-        if size * size > average_load:
-            bloom = BloomFilter(
-                config.candidate_bloom_bits, config.candidate_bloom_hashes
-            )
+        if size * size > self.average_load:
+            bloom = BloomFilter(self.bloom_bits, self.bloom_hashes)
             bloom.update(group)
             for capture in group:
                 yield capture, (bloom, 1, True)
         else:
             for capture in group:
                 yield capture, (group.difference((capture,)), 1, False)
-
-    return emit
 
 
 def _candidate_state_cost(value: CandidateValue) -> int:
@@ -253,6 +294,28 @@ def _candidate_state_cost(value: CandidateValue) -> int:
     return len(refs) + 1
 
 
+class _WorkUnitSplitter:
+    """Chunk each dominant group into per-worker work units (picklable)."""
+
+    __slots__ = ("average_load", "parallelism")
+
+    def __init__(self, average_load: float, parallelism: int) -> None:
+        self.average_load = average_load
+        self.parallelism = parallelism
+
+    def __call__(
+        self, partition: List[FrozenSet[Capture]], _worker: int
+    ) -> Iterator[WorkUnit]:
+        for group in partition:
+            size = len(group)
+            if size * size > self.average_load:
+                members = sorted(group)
+                chunk_size = -(-size // self.parallelism)  # ceil division
+                for start in range(0, size, chunk_size):
+                    chunk = frozenset(members[start : start + chunk_size])
+                    yield (chunk, group)
+
+
 def _build_work_units(
     env: ExecutionEnvironment,
     groups: DataSet,
@@ -260,22 +323,9 @@ def _build_work_units(
     stats: ExtractionStats,
 ) -> DataSet:
     """Split dominant groups into per-worker work units."""
-    parallelism = env.parallelism
-
-    def emit_work_units(
-        partition: List[FrozenSet[Capture]], _worker: int
-    ) -> Iterator[WorkUnit]:
-        for group in partition:
-            size = len(group)
-            if size * size > average_load:
-                members = sorted(group)
-                chunk_size = -(-size // parallelism)  # ceil division
-                for start in range(0, size, chunk_size):
-                    chunk = frozenset(members[start : start + chunk_size])
-                    yield (chunk, group)
-
     work_units = groups.map_partition(
-        emit_work_units, name="ex/split-dominant-groups"
+        _WorkUnitSplitter(average_load, env.parallelism),
+        name="ex/split-dominant-groups",
     ).rebalance(name="ex/rebalance-work-units")
     stats.work_units = work_units.count()
     stats.dominant_groups = sum(
@@ -343,12 +393,35 @@ def _validate_uncertain(
     broadcast_stage = env.metrics.new_stage("ex/broadcast-uncertain")
     broadcast_stage.broadcast_records = len(uncertain) * env.parallelism
 
-    def emit_validation_sets(
-        unit: WorkUnit,
+    validated = work_units.flat_map(
+        _ValidationEmitter(uncertain), name="ex/validation-sets"
+    ).reduce_by_key(
+        key_fn=pair_key,
+        value_fn=pair_value,
+        reduce_fn=operator.and_,
+        name="ex/merge-validation-sets",
+    )
+    return dict(validated.collect(name="ex/collect-validated"))
+
+
+class _ValidationEmitter:
+    """Per-work-unit validation sets for the uncertain candidates.
+
+    Carries the broadcast uncertain-candidate map so the flat_map stays
+    picklable under the process executor.
+    """
+
+    __slots__ = ("uncertain",)
+
+    def __init__(self, uncertain: Dict[Capture, Refs]) -> None:
+        self.uncertain = uncertain
+
+    def __call__(
+        self, unit: WorkUnit
     ) -> Iterator[Tuple[Capture, FrozenSet[Capture]]]:
         chunk, group = unit
         for dependent in chunk:
-            refs = uncertain.get(dependent)
+            refs = self.uncertain.get(dependent)
             if refs is None:
                 continue
             if isinstance(refs, BloomFilter):
@@ -360,13 +433,3 @@ def _validate_uncertain(
             else:
                 validation = group & refs
             yield dependent, validation
-
-    validated = work_units.flat_map(
-        emit_validation_sets, name="ex/validation-sets"
-    ).reduce_by_key(
-        key_fn=lambda pair: pair[0],
-        value_fn=lambda pair: pair[1],
-        reduce_fn=lambda a, b: a & b,
-        name="ex/merge-validation-sets",
-    )
-    return dict(validated.collect(name="ex/collect-validated"))

@@ -31,9 +31,11 @@ capture-support pruning or the final broadness filter removes.
 
 from __future__ import annotations
 
+import operator
 import time
 from collections import Counter
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
 
 from repro.core.cind import AssociationRule, SupportedAR
@@ -44,7 +46,12 @@ from repro.core.conditions import (
     UnaryCondition,
 )
 from repro.dataflow.bloom import BloomFilter
-from repro.dataflow.engine import DataSet, ExecutionEnvironment
+from repro.dataflow.engine import (
+    DataSet,
+    ExecutionEnvironment,
+    pair_key,
+    pair_value,
+)
 from repro.rdf.model import Attr, EncodedDataset, EncodedTriple
 
 
@@ -88,30 +95,48 @@ class FrequentConditions:
         return self.binary_counts.get(condition, 0)
 
 
-def _unary_counter_emitter(scope: ConditionScope):
-    attrs = tuple(sorted(scope.condition_attrs))
+# The operator callables below are module-level classes (not closures) so
+# that the process executor can pickle them together with their config.
 
-    def emit(triple: EncodedTriple) -> Iterator[Tuple[UnaryCondition, int]]:
-        for attr in attrs:
+
+class _UnaryCounterEmitter:
+    """Per-triple ``(unary condition, 1)`` counters (Figure 5, step 1)."""
+
+    __slots__ = ("attrs",)
+
+    def __init__(self, scope: ConditionScope) -> None:
+        self.attrs = tuple(sorted(scope.condition_attrs))
+
+    def __call__(
+        self, triple: EncodedTriple
+    ) -> Iterator[Tuple[UnaryCondition, int]]:
+        for attr in self.attrs:
             yield UnaryCondition(attr, triple[int(attr)]), 1
 
-    return emit
 
-
-def _binary_counter_emitter(scope: ConditionScope, unary_bloom: BloomFilter):
+class _BinaryCounterEmitter:
     """Algorithm 1: on-demand binary candidate creation via Bloom probes."""
-    pairs = []
-    attrs = tuple(sorted(scope.condition_attrs))
-    for index, attr1 in enumerate(attrs):
-        for attr2 in attrs[index + 1 :]:
-            pairs.append((attr1, attr2))
 
-    def emit(triple: EncodedTriple) -> Iterator[Tuple[BinaryCondition, int]]:
+    __slots__ = ("attrs", "pairs", "unary_bloom")
+
+    def __init__(self, scope: ConditionScope, unary_bloom: BloomFilter) -> None:
+        self.attrs = tuple(sorted(scope.condition_attrs))
+        pairs = []
+        for index, attr1 in enumerate(self.attrs):
+            for attr2 in self.attrs[index + 1 :]:
+                pairs.append((attr1, attr2))
+        self.pairs = tuple(pairs)
+        self.unary_bloom = unary_bloom
+
+    def __call__(
+        self, triple: EncodedTriple
+    ) -> Iterator[Tuple[BinaryCondition, int]]:
+        unary_bloom = self.unary_bloom
         probed = {
             attr: UnaryCondition(attr, triple[int(attr)]) in unary_bloom
-            for attr in attrs
+            for attr in self.attrs
         }
-        for attr1, attr2 in pairs:
+        for attr1, attr2 in self.pairs:
             if probed[attr1] and probed[attr2]:
                 yield (
                     BinaryCondition(
@@ -120,7 +145,10 @@ def _binary_counter_emitter(scope: ConditionScope, unary_bloom: BloomFilter):
                     1,
                 )
 
-    return emit
+
+def _count_at_least(h: int, pair: Tuple[Condition, int]) -> bool:
+    """Frequency filter used via ``functools.partial`` (picklable)."""
+    return pair[1] >= h
 
 
 def _columnar_unary_counts(
@@ -209,20 +237,24 @@ def _columnar_binary_counts(
     return counts
 
 
+def _local_bloom(
+    capacity: int, fp_rate: float, partition: List[Tuple[Condition, int]]
+) -> BloomFilter:
+    """One worker's partial Bloom filter over its counter partition."""
+    bloom = BloomFilter.for_capacity(capacity, fp_rate)
+    for condition, _count in partition:
+        bloom.add(condition)
+    return bloom
+
+
 def _build_bloom(
     counters: DataSet, capacity: int, fp_rate: float, name: str
 ) -> BloomFilter:
     """Distributed Bloom construction: local partials, bit-wise OR union."""
-    capacity = max(1, capacity)
-
-    def local(partition: List[Tuple[Condition, int]]) -> BloomFilter:
-        bloom = BloomFilter.for_capacity(capacity, fp_rate)
-        for condition, _count in partition:
-            bloom.add(condition)
-        return bloom
-
     return counters.reduce_partitions(
-        local, lambda a, b: a.union_update(b), name=name
+        partial(_local_bloom, max(1, capacity), fp_rate),
+        lambda a, b: a.union_update(b),  # merge runs on the driver
+        name=name,
     )
 
 
@@ -270,15 +302,15 @@ def detect_frequent_conditions(
         )
     else:
         unary_counters = triples.flat_map(
-            _unary_counter_emitter(scope), name="fc/unary-counters"
+            _UnaryCounterEmitter(scope), name="fc/unary-counters"
         ).reduce_by_key(
-            key_fn=lambda pair: pair[0],
-            value_fn=lambda pair: pair[1],
-            reduce_fn=lambda a, b: a + b,
+            key_fn=pair_key,
+            value_fn=pair_value,
+            reduce_fn=operator.add,
             name="fc/unary-aggregate",
         )
         frequent_unary = unary_counters.filter(
-            lambda pair: pair[1] >= h, name="fc/unary-filter"
+            partial(_count_at_least, h), name="fc/unary-filter"
         )
         unary_counts = dict(frequent_unary.collect(name="fc/unary-collect"))
 
@@ -301,16 +333,16 @@ def detect_frequent_conditions(
             )
         else:
             binary_counters = triples.flat_map(
-                _binary_counter_emitter(scope, unary_bloom),
+                _BinaryCounterEmitter(scope, unary_bloom),
                 name="fc/binary-counters",
             ).reduce_by_key(
-                key_fn=lambda pair: pair[0],
-                value_fn=lambda pair: pair[1],
-                reduce_fn=lambda a, b: a + b,
+                key_fn=pair_key,
+                value_fn=pair_value,
+                reduce_fn=operator.add,
                 name="fc/binary-aggregate",
             )
             frequent_binary = binary_counters.filter(
-                lambda pair: pair[1] >= h, name="fc/binary-filter"
+                partial(_count_at_least, h), name="fc/binary-filter"
             )
             binary_counts = dict(
                 frequent_binary.collect(name="fc/binary-collect")
@@ -339,6 +371,24 @@ def detect_frequent_conditions(
     )
 
 
+def _explode_binary_parts(pair):
+    """``(u1 ∧ u2, n)`` → one join record per embedded unary part."""
+    condition, count = pair
+    for part in condition.unary_parts():
+        yield part, condition, count
+
+
+def _match_association_rules(key, unary_records, binary_records):
+    """Equal-count join groups yield exact ARs (Lemma 2)."""
+    if not unary_records:
+        return
+    (_condition, unary_count) = unary_records[0]
+    for _part, binary_condition, binary_count in binary_records:
+        if binary_count == unary_count:
+            other = binary_condition.other_part(key)
+            yield SupportedAR(AssociationRule(key, other), binary_count)
+
+
 def _extract_association_rules(
     frequent_unary: DataSet, frequent_binary: DataSet
 ) -> List[SupportedAR]:
@@ -349,28 +399,14 @@ def _extract_association_rules(
     (confidence 1) and ``part → other`` is an AR with support ``n``
     (Lemma 2).
     """
-
-    def explode(pair):
-        condition, count = pair
-        for part in condition.unary_parts():
-            yield part, condition, count
-
-    binaries_by_part = frequent_binary.flat_map(explode, name="fc/ar-explode")
-
-    def match(key, unary_records, binary_records):
-        if not unary_records:
-            return
-        (_condition, unary_count) = unary_records[0]
-        for _part, binary_condition, binary_count in binary_records:
-            if binary_count == unary_count:
-                other = binary_condition.other_part(key)
-                yield SupportedAR(AssociationRule(key, other), binary_count)
-
+    binaries_by_part = frequent_binary.flat_map(
+        _explode_binary_parts, name="fc/ar-explode"
+    )
     rules = frequent_unary.co_group(
         binaries_by_part,
-        key_self=lambda pair: pair[0],
-        key_other=lambda record: record[0],
-        fn=match,
+        key_self=pair_key,
+        key_other=pair_key,
+        fn=_match_association_rules,
         name="fc/ar-join",
     ).collect(name="fc/ar-collect")
     rules.sort(key=lambda sar: (-sar.support, sar.rule))

@@ -14,6 +14,12 @@ partition) and shuffle volume can be reported.  These are the quantities
 behind the paper's scale-out and skew experiments (Figures 9, 12, 13): the
 shape of those curves is a function of per-partition load, which the
 simulation preserves exactly.
+
+Where the per-partition tasks run is pluggable
+(:mod:`repro.dataflow.executors`): the ``serial`` backend executes them
+inline (the reference), the ``process`` backend executes them concurrently
+on a persistent process pool — real multi-core execution with
+byte-identical output.
 """
 
 from repro.dataflow.bloom import BloomFilter
@@ -21,6 +27,14 @@ from repro.dataflow.engine import (
     DataSet,
     ExecutionEnvironment,
     SimulatedOutOfMemory,
+    stable_hash,
+)
+from repro.dataflow.executors import (
+    EXECUTOR_NAMES,
+    ProcessExecutor,
+    SerialExecutor,
+    available_cores,
+    create_executor,
 )
 from repro.dataflow.metrics import JobMetrics, StageMetrics
 
@@ -29,6 +43,12 @@ __all__ = [
     "DataSet",
     "ExecutionEnvironment",
     "SimulatedOutOfMemory",
+    "stable_hash",
+    "EXECUTOR_NAMES",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "available_cores",
+    "create_executor",
     "JobMetrics",
     "StageMetrics",
 ]

@@ -1,12 +1,20 @@
-"""Eager, partitioned, single-process dataflow engine.
+"""Eager, partitioned dataflow engine with pluggable executor backends.
 
 This is the substrate RDFind runs on in this reproduction, standing in for
 Apache Flink (see DESIGN.md, substitutions).  An
-:class:`ExecutionEnvironment` fixes a *parallelism* (number of simulated
-workers); a :class:`DataSet` is a list of per-worker partitions.  Operators
-execute eagerly, one partition at a time, timing each partition so that
-the engine can report what a real cluster would have achieved
+:class:`ExecutionEnvironment` fixes a *parallelism* (number of workers); a
+:class:`DataSet` is a list of per-worker partitions.  Operators execute
+eagerly, one *task* per partition, timing each task so that the engine can
+report what a cluster would have achieved
 (:class:`repro.dataflow.metrics.JobMetrics`).
+
+Where the tasks run is decided by the environment's executor backend
+(:mod:`repro.dataflow.executors`): ``serial`` runs them inline in the
+driver (the reference behaviour), ``process`` runs them concurrently on a
+persistent process pool — real multi-core execution.  Every per-partition
+task is a module-level function over a picklable payload, so the same
+task code serves both backends and results are byte-identical between
+them.
 
 Operator vocabulary (mapping to the paper's Appendix C):
 
@@ -27,15 +35,23 @@ Reduce``                  paper's "early aggregation")
                           :meth:`DataSet.partition_by_key`
 ========================  ====================================================
 
+Shuffles are routed by :func:`stable_hash`, a deterministic 64-bit hash
+over the key types the pipeline uses.  Builtin ``hash`` would not do: it
+is randomized per process for strings (``PYTHONHASHSEED``), which would
+make partition assignment differ between pool workers and between runs.
+
 A configurable per-partition *memory budget* (max records materialized in
 any one worker's in-memory state) emulates out-of-memory failures: stateful
 operators raise :class:`SimulatedOutOfMemory` when a single worker would
-have to hold more records than the budget allows.  The paper's Figures 7
-and 13 report such failures for Cinderella and RDFind-DE.
+have to hold more records than the budget allows.  The exception pickles
+faithfully, so a budget blown inside a pool worker surfaces in the driver
+exactly like a serial one.  The paper's Figures 7 and 13 report such
+failures for Cinderella and RDFind-DE.
 """
 
 from __future__ import annotations
 
+import hashlib
 import time
 from typing import (
     Any,
@@ -51,6 +67,7 @@ from typing import (
     TypeVar,
 )
 
+from repro.dataflow.executors import create_executor
 from repro.dataflow.metrics import JobMetrics, StageMetrics
 
 T = TypeVar("T")
@@ -71,6 +88,266 @@ class SimulatedOutOfMemory(MemoryError):
         self.records = records
         self.budget = budget
 
+    def __reduce__(self):
+        # BaseException pickles via self.args, which holds the formatted
+        # message, not the three constructor arguments; without this
+        # override the exception could not cross a process-pool boundary.
+        return (SimulatedOutOfMemory, (self.stage, self.records, self.budget))
+
+
+# ----------------------------------------------------------------------
+# stable hashing (shuffle routing)
+# ----------------------------------------------------------------------
+
+_MASK64 = (1 << 64) - 1
+
+
+def _mix_int(value: int) -> int:
+    """splitmix64 finalizer — a cheap, well-mixed 64-bit int hash."""
+    value &= _MASK64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return value ^ (value >> 31)
+
+
+def stable_hash(key: Any) -> int:
+    """A 64-bit hash that is stable across processes and interpreter runs.
+
+    Covers the key types the discovery pipeline shuffles on: ints (term
+    ids, :class:`~repro.rdf.model.Attr`), strings/bytes (via BLAKE2b —
+    builtin ``hash`` is randomized for these), and (nested) tuples and
+    frozensets thereof (conditions, captures, and NamedTuples of both).
+    Unknown types fall back to builtin ``hash`` — acceptable only for
+    types whose hash is process-invariant.
+    """
+    if key is None:
+        return 0x9E3779B97F4A7C15
+    if isinstance(key, bool):
+        return _mix_int(2 if key else 1)
+    if isinstance(key, int):
+        return _mix_int(key)
+    if isinstance(key, str):
+        digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+        return int.from_bytes(digest, "big")
+    if isinstance(key, bytes):
+        digest = hashlib.blake2b(key, digest_size=8).digest()
+        return int.from_bytes(digest, "big")
+    if isinstance(key, tuple):
+        accumulator = _mix_int(0x1000003 + len(key))
+        for element in key:
+            accumulator = _mix_int(accumulator ^ stable_hash(element))
+        return accumulator
+    if isinstance(key, frozenset):
+        accumulator = 0
+        for element in key:  # XOR: order-independent
+            accumulator ^= stable_hash(element)
+        return _mix_int(accumulator ^ len(key))
+    return hash(key) & _MASK64
+
+
+def _hash_partition(key: Any, parallelism: int) -> int:
+    return stable_hash(key) % parallelism
+
+
+# ----------------------------------------------------------------------
+# picklable helpers for keyed operators (usable from any backend)
+# ----------------------------------------------------------------------
+
+
+def pair_key(pair: Tuple[K, V]) -> K:
+    """First element of a pair — the canonical picklable ``key_fn``."""
+    return pair[0]
+
+
+def pair_value(pair: Tuple[K, V]) -> V:
+    """Second element of a pair — the canonical picklable ``value_fn``."""
+    return pair[1]
+
+
+def record_cells(record: Any) -> int:
+    """Price one record in memory-budget cells.
+
+    A cell is one dictionary-encoded value slot: an int is one cell, a
+    tuple (e.g. an ``EncodedTriple``) is the sum of its fields, and a
+    string is charged by its length in 8-byte words — the width ratio
+    that makes encoded and raw-string records comparable under one
+    budget.
+    """
+    if isinstance(record, int):
+        return 1
+    if isinstance(record, str):
+        return 1 + len(record) // 8
+    if isinstance(record, tuple):
+        return sum(record_cells(field) for field in record)
+    return 1
+
+
+# ----------------------------------------------------------------------
+# per-partition task functions (module-level, hence picklable)
+# ----------------------------------------------------------------------
+#
+# Each task consumes one partition's payload and returns its result plus
+# the seconds the worker spent — measured inside the worker, so the
+# per-partition timings (and the skew they reveal) are real under both
+# backends.
+
+
+def _map_task(payload):
+    fn, partition = payload
+    start = time.perf_counter()
+    result = [fn(item) for item in partition]
+    return result, time.perf_counter() - start
+
+
+def _flat_map_task(payload):
+    fn, partition = payload
+    start = time.perf_counter()
+    result: List[Any] = []
+    extend = result.extend
+    for item in partition:
+        extend(fn(item))
+    return result, time.perf_counter() - start
+
+
+def _filter_task(payload):
+    pred, partition = payload
+    start = time.perf_counter()
+    result = [item for item in partition if pred(item)]
+    return result, time.perf_counter() - start
+
+
+def _map_partition_task(payload):
+    fn, partition, worker = payload
+    start = time.perf_counter()
+    result = list(fn(partition, worker))
+    return result, time.perf_counter() - start
+
+
+def _combine_shuffle_task(payload):
+    """Local pre-aggregation + bucket split of ``reduce_by_key``."""
+    key_fn, value_fn, reduce_fn, combine, parallelism, budget, stage, partition = payload
+    start = time.perf_counter()
+    if combine:
+        local: Dict[Any, Any] = {}
+        for item in partition:
+            key = key_fn(item)
+            value = value_fn(item)
+            if key in local:
+                local[key] = reduce_fn(local[key], value)
+            else:
+                local[key] = value
+        if budget is not None and len(local) > budget:
+            raise SimulatedOutOfMemory(stage, len(local), budget)
+        pairs: Iterable[Tuple[Any, Any]] = local.items()
+        emitted = len(local)
+    else:
+        pairs = [(key_fn(item), value_fn(item)) for item in partition]
+        emitted = len(partition)
+    buckets: List[List[Tuple[Any, Any]]] = [[] for _ in range(parallelism)]
+    for key, value in pairs:
+        buckets[_hash_partition(key, parallelism)].append((key, value))
+    return buckets, emitted, time.perf_counter() - start
+
+
+def _fused_combine_shuffle_task(payload):
+    """Fused flatMap + local combine + bucket split (operator chaining)."""
+    flat_fn, reduce_fn, state_cost_fn, parallelism, budget, stage, partition = payload
+    start = time.perf_counter()
+    local: Dict[Any, Any] = {}
+    state_cost = 0
+    for item in partition:
+        for key, value in flat_fn(item):
+            previous = local.get(key)
+            if previous is None:
+                local[key] = value
+                if state_cost_fn is not None:
+                    state_cost += state_cost_fn(value)
+            else:
+                merged = reduce_fn(previous, value)
+                local[key] = merged
+                if state_cost_fn is not None:
+                    state_cost += state_cost_fn(merged) - state_cost_fn(previous)
+            if budget is not None:
+                used = state_cost if state_cost_fn is not None else len(local)
+                if used > budget:
+                    raise SimulatedOutOfMemory(stage, used, budget)
+    peak = state_cost if state_cost_fn is not None else len(local)
+    buckets: List[List[Tuple[Any, Any]]] = [[] for _ in range(parallelism)]
+    for key, value in local.items():
+        buckets[_hash_partition(key, parallelism)].append((key, value))
+    return buckets, len(local), peak, time.perf_counter() - start
+
+
+def _reduce_bucket_task(payload):
+    """The post-shuffle reduction of one key bucket."""
+    reduce_fn, budget, stage, bucket = payload
+    start = time.perf_counter()
+    grouped: Dict[Any, Any] = {}
+    for key, value in bucket:
+        if key in grouped:
+            grouped[key] = reduce_fn(grouped[key], value)
+        else:
+            grouped[key] = value
+    if budget is not None and len(grouped) > budget:
+        raise SimulatedOutOfMemory(stage, len(grouped), budget)
+    return list(grouped.items()), time.perf_counter() - start
+
+
+def _keyed_shuffle_task(payload):
+    """Key every record and split it into hash buckets (shuffle side)."""
+    key_fn, parallelism, partition = payload
+    start = time.perf_counter()
+    buckets: List[List[Tuple[Any, Any]]] = [[] for _ in range(parallelism)]
+    for item in partition:
+        key = key_fn(item)
+        buckets[_hash_partition(key, parallelism)].append((key, item))
+    return buckets, time.perf_counter() - start
+
+
+def _group_bucket_task(payload):
+    """Materialize one bucket's ``(key, [records])`` groups."""
+    budget, stage, bucket = payload
+    start = time.perf_counter()
+    if budget is not None and len(bucket) > budget:
+        raise SimulatedOutOfMemory(stage, len(bucket), budget)
+    grouped: Dict[Any, List[Any]] = {}
+    for key, item in bucket:
+        grouped.setdefault(key, []).append(item)
+    return list(grouped.items()), time.perf_counter() - start
+
+
+def _co_group_apply_task(payload):
+    """Group both sides of one bucket pair and apply the join function."""
+    fn, budget, stage, left_bucket, right_bucket = payload
+    start = time.perf_counter()
+    if budget is not None and len(left_bucket) + len(right_bucket) > budget:
+        raise SimulatedOutOfMemory(
+            stage, len(left_bucket) + len(right_bucket), budget
+        )
+    left_groups: Dict[Any, List[Any]] = {}
+    for key, item in left_bucket:
+        left_groups.setdefault(key, []).append(item)
+    right_groups: Dict[Any, List[Any]] = {}
+    for key, item in right_bucket:
+        right_groups.setdefault(key, []).append(item)
+    result: List[Any] = []
+    # Deterministic key order (left insertion order, then right-only keys)
+    # instead of set union — set iteration order would leak the process's
+    # hash seed into the output order.
+    for key in left_groups:
+        result.extend(fn(key, left_groups[key], right_groups.get(key, [])))
+    for key in right_groups:
+        if key not in left_groups:
+            result.extend(fn(key, [], right_groups[key]))
+    return result, time.perf_counter() - start
+
+
+def _local_reduce_task(payload):
+    """The per-partition half of a global reduction."""
+    local_fn, partition = payload
+    start = time.perf_counter()
+    return local_fn(partition), time.perf_counter() - start
+
 
 class ExecutionEnvironment:
     """Factory for :class:`DataSet` objects plus job-wide configuration.
@@ -78,14 +355,22 @@ class ExecutionEnvironment:
     Parameters
     ----------
     parallelism:
-        Number of simulated workers (>= 1).  All datasets created from this
-        environment have exactly this many partitions.
+        Number of workers/partitions (>= 1).  All datasets created from
+        this environment have exactly this many partitions.
     memory_budget:
-        Optional cap on the number of records any single simulated worker
-        may hold in in-memory state (grouping tables, collected results).
+        Optional cap on the number of records any single worker may hold
+        in in-memory state (grouping tables, collected results).
         ``None`` disables the check.
     name:
         Job name used in metric reports.
+    executor:
+        Backend that runs the per-partition tasks: ``"serial"`` (inline,
+        the default and reference) or ``"process"`` (persistent process
+        pool — real cores, but operator functions must be picklable; see
+        :mod:`repro.dataflow.executors`).
+    workers:
+        Pool size for the ``process`` backend; defaults to
+        ``min(parallelism, available cores)``.  Ignored by ``serial``.
     """
 
     def __init__(
@@ -93,12 +378,30 @@ class ExecutionEnvironment:
         parallelism: int = 1,
         memory_budget: Optional[int] = None,
         name: str = "job",
+        executor: str = "serial",
+        workers: Optional[int] = None,
     ) -> None:
         if parallelism < 1:
             raise ValueError("parallelism must be >= 1")
         self.parallelism = int(parallelism)
         self.memory_budget = memory_budget
-        self.metrics = JobMetrics(job_name=name, parallelism=self.parallelism)
+        self.executor = create_executor(executor, self.parallelism, workers)
+        self.metrics = JobMetrics(
+            job_name=name,
+            parallelism=self.parallelism,
+            executor=self.executor.name,
+            workers=self.executor.workers,
+        )
+
+    def close(self) -> None:
+        """Release executor resources (the process pool, if any)."""
+        self.executor.close()
+
+    def __enter__(self) -> "ExecutionEnvironment":
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.close()
 
     def from_collection(
         self,
@@ -120,6 +423,7 @@ class ExecutionEnvironment:
             partitions[index % self.parallelism].append(item)
         elapsed = time.perf_counter() - start
         stage = self.metrics.new_stage(name)
+        stage.wall_seconds = elapsed
         stage.partition_seconds = [elapsed / self.parallelism] * self.parallelism
         stage.records_in = [len(p) for p in partitions]
         stage.records_out = [len(p) for p in partitions]
@@ -133,14 +437,20 @@ class ExecutionEnvironment:
     def from_partitions(
         self, partitions: Sequence[Sequence[T]], name: str = "source"
     ) -> "DataSet[T]":
-        """Create a dataset from pre-built partitions (padded/truncated)."""
+        """Create a dataset from pre-built partitions.
+
+        Missing partitions are padded with empty ones; overflow partitions
+        are merged round-robin onto the existing ones, so no single worker
+        silently absorbs all the excess (which would skew budget and
+        metric accounting).
+        """
         normalized: List[List[T]] = [list(p) for p in partitions]
         while len(normalized) < self.parallelism:
             normalized.append([])
         if len(normalized) > self.parallelism:
             merged = normalized[: self.parallelism]
-            for extra in normalized[self.parallelism :]:
-                merged[0].extend(extra)
+            for index, extra in enumerate(normalized[self.parallelism :]):
+                merged[index % self.parallelism].extend(extra)
             normalized = merged
         return DataSet(self, normalized, name=name)
 
@@ -148,28 +458,6 @@ class ExecutionEnvironment:
         budget = self.memory_budget
         if budget is not None and records > budget:
             raise SimulatedOutOfMemory(stage, records, budget)
-
-
-def _hash_partition(key: Any, parallelism: int) -> int:
-    return hash(key) % parallelism
-
-
-def record_cells(record: Any) -> int:
-    """Price one record in memory-budget cells.
-
-    A cell is one dictionary-encoded value slot: an int is one cell, a
-    tuple (e.g. an ``EncodedTriple``) is the sum of its fields, and a
-    string is charged by its length in 8-byte words — the width ratio
-    that makes encoded and raw-string records comparable under one
-    budget.
-    """
-    if isinstance(record, int):
-        return 1
-    if isinstance(record, str):
-        return 1 + len(record) // 8
-    if isinstance(record, tuple):
-        return sum(record_cells(field) for field in record)
-    return 1
 
 
 class DataSet(Generic[T]):
@@ -187,6 +475,26 @@ class DataSet(Generic[T]):
         self.partitions = partitions
         self.name = name
 
+    def _total_records(self) -> int:
+        return sum(len(partition) for partition in self.partitions)
+
+    def _run_stage(
+        self,
+        stage: StageMetrics,
+        task: Callable[[Any], Any],
+        payloads: List[Any],
+        records: Optional[int] = None,
+    ) -> List[Any]:
+        """Run one task per payload on the executor, recording wall-clock.
+
+        ``records`` hints the stage's total input size so the process
+        backend can run trivially small stages inline.
+        """
+        start = time.perf_counter()
+        results = self.env.executor.run(task, payloads, records=records)
+        stage.wall_seconds += time.perf_counter() - start
+        return results
+
     # ------------------------------------------------------------------
     # element-wise operators
     # ------------------------------------------------------------------
@@ -194,11 +502,12 @@ class DataSet(Generic[T]):
     def map(self, fn: Callable[[T], U], name: str = "map") -> "DataSet[U]":
         """Apply ``fn`` to every record."""
         stage = self.env.metrics.new_stage(name)
+        payloads = [(fn, partition) for partition in self.partitions]
         out: List[List[U]] = []
-        for partition in self.partitions:
-            start = time.perf_counter()
-            result = [fn(item) for item in partition]
-            stage.partition_seconds.append(time.perf_counter() - start)
+        for partition, (result, elapsed) in zip(
+            self.partitions, self._run_stage(stage, _map_task, payloads, records=self._total_records())
+        ):
+            stage.partition_seconds.append(elapsed)
             stage.records_in.append(len(partition))
             stage.records_out.append(len(result))
             out.append(result)
@@ -209,14 +518,12 @@ class DataSet(Generic[T]):
     ) -> "DataSet[U]":
         """Apply ``fn`` and flatten its iterable results."""
         stage = self.env.metrics.new_stage(name)
+        payloads = [(fn, partition) for partition in self.partitions]
         out: List[List[U]] = []
-        for partition in self.partitions:
-            start = time.perf_counter()
-            result: List[U] = []
-            extend = result.extend
-            for item in partition:
-                extend(fn(item))
-            stage.partition_seconds.append(time.perf_counter() - start)
+        for partition, (result, elapsed) in zip(
+            self.partitions, self._run_stage(stage, _flat_map_task, payloads, records=self._total_records())
+        ):
+            stage.partition_seconds.append(elapsed)
             stage.records_in.append(len(partition))
             stage.records_out.append(len(result))
             out.append(result)
@@ -225,11 +532,12 @@ class DataSet(Generic[T]):
     def filter(self, pred: Callable[[T], bool], name: str = "filter") -> "DataSet[T]":
         """Keep records for which ``pred`` is true."""
         stage = self.env.metrics.new_stage(name)
+        payloads = [(pred, partition) for partition in self.partitions]
         out: List[List[T]] = []
-        for partition in self.partitions:
-            start = time.perf_counter()
-            result = [item for item in partition if pred(item)]
-            stage.partition_seconds.append(time.perf_counter() - start)
+        for partition, (result, elapsed) in zip(
+            self.partitions, self._run_stage(stage, _filter_task, payloads, records=self._total_records())
+        ):
+            stage.partition_seconds.append(elapsed)
             stage.records_in.append(len(partition))
             stage.records_out.append(len(result))
             out.append(result)
@@ -242,11 +550,15 @@ class DataSet(Generic[T]):
     ) -> "DataSet[U]":
         """Apply ``fn(partition, worker_index)`` per partition."""
         stage = self.env.metrics.new_stage(name)
+        payloads = [
+            (fn, partition, worker)
+            for worker, partition in enumerate(self.partitions)
+        ]
         out: List[List[U]] = []
-        for worker, partition in enumerate(self.partitions):
-            start = time.perf_counter()
-            result = list(fn(partition, worker))
-            stage.partition_seconds.append(time.perf_counter() - start)
+        for partition, (result, elapsed) in zip(
+            self.partitions, self._run_stage(stage, _map_partition_task, payloads, records=self._total_records())
+        ):
+            stage.partition_seconds.append(elapsed)
             stage.records_in.append(len(partition))
             stage.records_out.append(len(result))
             out.append(result)
@@ -255,6 +567,38 @@ class DataSet(Generic[T]):
     # ------------------------------------------------------------------
     # keyed aggregation (GroupBy + GroupCombine + GroupReduce)
     # ------------------------------------------------------------------
+
+    def _gather_buckets(
+        self, bucket_lists: Iterable[List[List[Any]]]
+    ) -> List[List[Any]]:
+        """Concatenate per-task bucket splits in partition order."""
+        buckets: List[List[Any]] = [[] for _ in range(self.env.parallelism)]
+        for split in bucket_lists:
+            for index, chunk in enumerate(split):
+                buckets[index].extend(chunk)
+        return buckets
+
+    def _reduce_buckets(
+        self,
+        buckets: List[List[Tuple[K, V]]],
+        reduce_fn: Callable[[V, V], V],
+        name: str,
+    ) -> List[List[Tuple[K, V]]]:
+        """The post-shuffle reduce stage shared by the keyed operators."""
+        env = self.env
+        reduce_stage = env.metrics.new_stage(name)
+        payloads = [
+            (reduce_fn, env.memory_budget, name, bucket) for bucket in buckets
+        ]
+        out: List[List[Tuple[K, V]]] = []
+        for bucket, (result, elapsed) in zip(
+            buckets, self._run_stage(reduce_stage, _reduce_bucket_task, payloads, records=sum(len(b) for b in buckets))
+        ):
+            reduce_stage.partition_seconds.append(elapsed)
+            reduce_stage.records_in.append(len(bucket))
+            reduce_stage.records_out.append(len(result))
+            out.append(result)
+        return out
 
     def reduce_by_key(
         self,
@@ -274,49 +618,29 @@ class DataSet(Generic[T]):
         env = self.env
         parallelism = env.parallelism
         stage = env.metrics.new_stage(name)
-        buckets: List[List[Tuple[K, V]]] = [[] for _ in range(parallelism)]
+        payloads = [
+            (
+                key_fn,
+                value_fn,
+                reduce_fn,
+                combine,
+                parallelism,
+                env.memory_budget,
+                name,
+                partition,
+            )
+            for partition in self.partitions
+        ]
+        results = self._run_stage(stage, _combine_shuffle_task, payloads, records=self._total_records())
         shuffled = 0
-        for partition in self.partitions:
-            start = time.perf_counter()
-            if combine:
-                local: Dict[K, V] = {}
-                for item in partition:
-                    key = key_fn(item)
-                    value = value_fn(item)
-                    if key in local:
-                        local[key] = reduce_fn(local[key], value)
-                    else:
-                        local[key] = value
-                env._check_budget(name, len(local))
-                pairs: Iterable[Tuple[K, V]] = local.items()
-                emitted = len(local)
-            else:
-                pairs = [(key_fn(item), value_fn(item)) for item in partition]
-                emitted = len(partition)
-            for key, value in pairs:
-                buckets[_hash_partition(key, parallelism)].append((key, value))
+        for partition, (_buckets, emitted, elapsed) in zip(self.partitions, results):
             shuffled += emitted
-            stage.partition_seconds.append(time.perf_counter() - start)
+            stage.partition_seconds.append(elapsed)
             stage.records_in.append(len(partition))
             stage.records_out.append(emitted)
         stage.shuffled_records = shuffled
-
-        reduce_stage = env.metrics.new_stage(name + "/reduce")
-        out: List[List[Tuple[K, V]]] = []
-        for bucket in buckets:
-            start = time.perf_counter()
-            grouped: Dict[K, V] = {}
-            for key, value in bucket:
-                if key in grouped:
-                    grouped[key] = reduce_fn(grouped[key], value)
-                else:
-                    grouped[key] = value
-            env._check_budget(name + "/reduce", len(grouped))
-            result = list(grouped.items())
-            reduce_stage.partition_seconds.append(time.perf_counter() - start)
-            reduce_stage.records_in.append(len(bucket))
-            reduce_stage.records_out.append(len(result))
-            out.append(result)
+        buckets = self._gather_buckets(split for split, _e, _t in results)
+        out = self._reduce_buckets(buckets, reduce_fn, name + "/reduce")
         return DataSet(env, out, name=name)
 
     def flat_map_reduce_by_key(
@@ -342,59 +666,31 @@ class DataSet(Generic[T]):
         env = self.env
         parallelism = env.parallelism
         stage = env.metrics.new_stage(name)
-        buckets: List[List[Tuple[K, V]]] = [[] for _ in range(parallelism)]
-        shuffled = 0
-        budget = env.memory_budget
-        for partition in self.partitions:
-            start = time.perf_counter()
-            local: Dict[K, V] = {}
-            state_cost = 0
-            for item in partition:
-                for key, value in flat_fn(item):
-                    previous = local.get(key)
-                    if previous is None:
-                        local[key] = value
-                        if state_cost_fn is not None:
-                            state_cost += state_cost_fn(value)
-                    else:
-                        merged = reduce_fn(previous, value)
-                        local[key] = merged
-                        if state_cost_fn is not None:
-                            state_cost += state_cost_fn(merged) - state_cost_fn(
-                                previous
-                            )
-                    if budget is not None:
-                        used = state_cost if state_cost_fn is not None else len(local)
-                        if used > budget:
-                            raise SimulatedOutOfMemory(name, used, budget)
-            stage.peak_state_cost = max(
-                stage.peak_state_cost,
-                state_cost if state_cost_fn is not None else len(local),
+        payloads = [
+            (
+                flat_fn,
+                reduce_fn,
+                state_cost_fn,
+                parallelism,
+                env.memory_budget,
+                name,
+                partition,
             )
-            for key, value in local.items():
-                buckets[_hash_partition(key, parallelism)].append((key, value))
-            shuffled += len(local)
-            stage.partition_seconds.append(time.perf_counter() - start)
+            for partition in self.partitions
+        ]
+        results = self._run_stage(stage, _fused_combine_shuffle_task, payloads, records=self._total_records())
+        shuffled = 0
+        for partition, (_buckets, emitted, peak, elapsed) in zip(
+            self.partitions, results
+        ):
+            shuffled += emitted
+            stage.peak_state_cost = max(stage.peak_state_cost, peak)
+            stage.partition_seconds.append(elapsed)
             stage.records_in.append(len(partition))
-            stage.records_out.append(len(local))
+            stage.records_out.append(emitted)
         stage.shuffled_records = shuffled
-
-        reduce_stage = env.metrics.new_stage(name + "/reduce")
-        out: List[List[Tuple[K, V]]] = []
-        for bucket in buckets:
-            start = time.perf_counter()
-            grouped: Dict[K, V] = {}
-            for key, value in bucket:
-                if key in grouped:
-                    grouped[key] = reduce_fn(grouped[key], value)
-                else:
-                    grouped[key] = value
-            env._check_budget(name + "/reduce", len(grouped))
-            result = list(grouped.items())
-            reduce_stage.partition_seconds.append(time.perf_counter() - start)
-            reduce_stage.records_in.append(len(bucket))
-            reduce_stage.records_out.append(len(result))
-            out.append(result)
+        buckets = self._gather_buckets(split for split, _e, _p, _t in results)
+        out = self._reduce_buckets(buckets, reduce_fn, name + "/reduce")
         return DataSet(env, out, name=name)
 
     def group_by_key(
@@ -406,30 +702,29 @@ class DataSet(Generic[T]):
         env = self.env
         parallelism = env.parallelism
         stage = env.metrics.new_stage(name)
-        buckets: List[List[Tuple[K, T]]] = [[] for _ in range(parallelism)]
+        payloads = [
+            (key_fn, parallelism, partition) for partition in self.partitions
+        ]
+        results = self._run_stage(stage, _keyed_shuffle_task, payloads, records=self._total_records())
         shuffled = 0
-        for partition in self.partitions:
-            start = time.perf_counter()
-            for item in partition:
-                buckets[_hash_partition(key_fn(item), parallelism)].append(
-                    (key_fn(item), item)
-                )
+        for partition, (_buckets, elapsed) in zip(self.partitions, results):
             shuffled += len(partition)
-            stage.partition_seconds.append(time.perf_counter() - start)
+            stage.partition_seconds.append(elapsed)
             stage.records_in.append(len(partition))
             stage.records_out.append(len(partition))
         stage.shuffled_records = shuffled
+        buckets = self._gather_buckets(split for split, _t in results)
 
         group_stage = env.metrics.new_stage(name + "/group")
+        group_payloads = [
+            (env.memory_budget, name + "/group", bucket) for bucket in buckets
+        ]
         out: List[List[Tuple[K, List[T]]]] = []
-        for bucket in buckets:
-            start = time.perf_counter()
-            grouped: Dict[K, List[T]] = {}
-            for key, item in bucket:
-                grouped.setdefault(key, []).append(item)
-            env._check_budget(name + "/group", len(bucket))
-            result = list(grouped.items())
-            group_stage.partition_seconds.append(time.perf_counter() - start)
+        for bucket, (result, elapsed) in zip(
+            buckets,
+            self._run_stage(group_stage, _group_bucket_task, group_payloads, records=sum(len(b) for b in buckets)),
+        ):
+            group_stage.partition_seconds.append(elapsed)
             group_stage.records_in.append(len(bucket))
             group_stage.records_out.append(len(result))
             out.append(result)
@@ -455,44 +750,51 @@ class DataSet(Generic[T]):
         env = self.env
         parallelism = env.parallelism
         stage = env.metrics.new_stage(name)
-        left_buckets: List[List[Tuple[K, T]]] = [[] for _ in range(parallelism)]
-        right_buckets: List[List[Tuple[K, U]]] = [[] for _ in range(parallelism)]
+        left_payloads = [
+            (key_self, parallelism, partition) for partition in self.partitions
+        ]
+        right_payloads = [
+            (key_other, parallelism, partition) for partition in other.partitions
+        ]
+        results = self._run_stage(
+            stage,
+            _keyed_shuffle_task,
+            left_payloads + right_payloads,
+            records=self._total_records() + other._total_records(),
+        )
+        left_results = results[: len(self.partitions)]
+        right_results = results[len(self.partitions) :]
         shuffled = 0
-        for partition in self.partitions:
-            start = time.perf_counter()
-            for item in partition:
-                key = key_self(item)
-                left_buckets[_hash_partition(key, parallelism)].append((key, item))
-            shuffled += len(partition)
-            stage.partition_seconds.append(time.perf_counter() - start)
-            stage.records_in.append(len(partition))
-            stage.records_out.append(len(partition))
-        for partition in other.partitions:
-            start = time.perf_counter()
-            for item in partition:
-                key = key_other(item)
-                right_buckets[_hash_partition(key, parallelism)].append((key, item))
-            shuffled += len(partition)
-            stage.partition_seconds[-1] += time.perf_counter() - start
+        for index in range(parallelism):
+            left_partition = self.partitions[index]
+            right_partition = other.partitions[index]
+            elapsed = left_results[index][1] + right_results[index][1]
+            moved = len(left_partition) + len(right_partition)
+            shuffled += moved
+            stage.partition_seconds.append(elapsed)
+            stage.records_in.append(moved)
+            stage.records_out.append(moved)
         stage.shuffled_records = shuffled
+        left_buckets = self._gather_buckets(split for split, _t in left_results)
+        right_buckets = self._gather_buckets(split for split, _t in right_results)
 
         apply_stage = env.metrics.new_stage(name + "/apply")
+        apply_payloads = [
+            (fn, env.memory_budget, name + "/apply", left_bucket, right_bucket)
+            for left_bucket, right_bucket in zip(left_buckets, right_buckets)
+        ]
         out: List[List[Any]] = []
-        for left_bucket, right_bucket in zip(left_buckets, right_buckets):
-            start = time.perf_counter()
-            left_groups: Dict[K, List[T]] = {}
-            for key, item in left_bucket:
-                left_groups.setdefault(key, []).append(item)
-            right_groups: Dict[K, List[U]] = {}
-            for key, item in right_bucket:
-                right_groups.setdefault(key, []).append(item)
-            env._check_budget(name + "/apply", len(left_bucket) + len(right_bucket))
-            result: List[Any] = []
-            for key in set(left_groups) | set(right_groups):
-                result.extend(
-                    fn(key, left_groups.get(key, []), right_groups.get(key, []))
-                )
-            apply_stage.partition_seconds.append(time.perf_counter() - start)
+        for (left_bucket, right_bucket), (result, elapsed) in zip(
+            zip(left_buckets, right_buckets),
+            self._run_stage(
+                apply_stage,
+                _co_group_apply_task,
+                apply_payloads,
+                records=sum(len(b) for b in left_buckets)
+                + sum(len(b) for b in right_buckets),
+            ),
+        ):
+            apply_stage.partition_seconds.append(elapsed)
             apply_stage.records_in.append(len(left_bucket) + len(right_bucket))
             apply_stage.records_out.append(len(result))
             out.append(result)
@@ -512,14 +814,18 @@ class DataSet(Generic[T]):
 
         This mirrors the paper's Bloom-filter construction: each worker
         builds a local partial, then one worker unions the partials
-        (Figure 5, steps 3-4).
+        (Figure 5, steps 3-4).  ``local_fn`` runs on the executor (so it
+        must be picklable under the process backend); ``merge_fn`` runs on
+        the driver and may be any callable.
         """
         stage = self.env.metrics.new_stage(name)
+        payloads = [(local_fn, partition) for partition in self.partitions]
         partials: List[U] = []
-        for partition in self.partitions:
-            start = time.perf_counter()
-            partials.append(local_fn(partition))
-            stage.partition_seconds.append(time.perf_counter() - start)
+        for partition, (partial, elapsed) in zip(
+            self.partitions, self._run_stage(stage, _local_reduce_task, payloads, records=self._total_records())
+        ):
+            partials.append(partial)
+            stage.partition_seconds.append(elapsed)
             stage.records_in.append(len(partition))
             stage.records_out.append(1)
         stage.shuffled_records = max(0, len(partials) - 1)
@@ -529,7 +835,9 @@ class DataSet(Generic[T]):
         merged = partials[0]
         for partial in partials[1:]:
             merged = merge_fn(merged, partial)
-        merge_stage.partition_seconds.append(time.perf_counter() - start)
+        elapsed = time.perf_counter() - start
+        merge_stage.wall_seconds = elapsed
+        merge_stage.partition_seconds.append(elapsed)
         merge_stage.records_in.append(len(partials))
         merge_stage.records_out.append(1)
         return merged
@@ -537,13 +845,15 @@ class DataSet(Generic[T]):
     def collect(self, name: str = "collect") -> List[T]:
         """Gather all records on the driver."""
         stage = self.env.metrics.new_stage(name)
+        start = time.perf_counter()
         out: List[T] = []
         for partition in self.partitions:
-            start = time.perf_counter()
+            partition_start = time.perf_counter()
             out.extend(partition)
-            stage.partition_seconds.append(time.perf_counter() - start)
+            stage.partition_seconds.append(time.perf_counter() - partition_start)
             stage.records_in.append(len(partition))
             stage.records_out.append(len(partition))
+        stage.wall_seconds = time.perf_counter() - start
         stage.shuffled_records = len(out)
         self.env._check_budget(name, len(out))
         return out
@@ -564,10 +874,14 @@ class DataSet(Generic[T]):
     # ------------------------------------------------------------------
 
     def rebalance(self, name: str = "rebalance") -> "DataSet[T]":
-        """Round-robin redistribute records evenly across workers."""
+        """Round-robin redistribute records evenly across workers.
+
+        Pure data movement — runs on the driver under every backend.
+        """
         env = self.env
         parallelism = env.parallelism
         stage = env.metrics.new_stage(name)
+        wall_start = time.perf_counter()
         out: List[List[T]] = [[] for _ in range(parallelism)]
         index = 0
         total = 0
@@ -580,16 +894,18 @@ class DataSet(Generic[T]):
             stage.partition_seconds.append(time.perf_counter() - start)
             stage.records_in.append(len(partition))
             stage.records_out.append(len(partition))
+        stage.wall_seconds = time.perf_counter() - wall_start
         stage.shuffled_records = total
         return DataSet(env, out, name=name)
 
     def partition_by_key(
         self, key_fn: Callable[[T], K], name: str = "partition_by_key"
     ) -> "DataSet[T]":
-        """Hash-redistribute records by key."""
+        """Hash-redistribute records by key (stable across processes)."""
         env = self.env
         parallelism = env.parallelism
         stage = env.metrics.new_stage(name)
+        wall_start = time.perf_counter()
         out: List[List[T]] = [[] for _ in range(parallelism)]
         total = 0
         for partition in self.partitions:
@@ -600,6 +916,7 @@ class DataSet(Generic[T]):
             stage.partition_seconds.append(time.perf_counter() - start)
             stage.records_in.append(len(partition))
             stage.records_out.append(len(partition))
+        stage.wall_seconds = time.perf_counter() - wall_start
         stage.shuffled_records = total
         return DataSet(env, out, name=name)
 
@@ -610,7 +927,9 @@ class DataSet(Generic[T]):
         for left, right in zip(self.partitions, other.partitions):
             start = time.perf_counter()
             merged = left + right
-            stage.partition_seconds.append(time.perf_counter() - start)
+            elapsed = time.perf_counter() - start
+            stage.wall_seconds += elapsed
+            stage.partition_seconds.append(elapsed)
             stage.records_in.append(len(merged))
             stage.records_out.append(len(merged))
             out.append(merged)

@@ -9,6 +9,11 @@ worker's share took on the real CPU.  From these we derive:
   partition.  This is the quantity plotted in the paper's scale-out
   experiment (Figure 9): skewed stages do not get faster with more
   workers, balanced ones do.
+* ``wall_clock_seconds`` — the *real* elapsed time the driver measured
+  around each stage's executor run.  Under the ``serial`` backend this
+  tracks ``total_cpu_seconds``; under the ``process`` backend it shrinks
+  toward ``simulated_parallel_seconds`` as tasks actually overlap on real
+  cores — the difference between the two is the observable speedup.
 * ``total_cpu_seconds`` — the aggregate work, independent of parallelism.
 * ``shuffled_records`` / ``broadcast_records`` — network volume proxies.
 """
@@ -31,6 +36,8 @@ class StageMetrics:
     broadcast_records: int = 0
     #: Largest combine-state cost any worker reached (fused operators).
     peak_state_cost: int = 0
+    #: Real elapsed driver time for this stage's executor run(s).
+    wall_seconds: float = 0.0
 
     @property
     def parallel_seconds(self) -> float:
@@ -68,6 +75,7 @@ class StageMetrics:
         return (
             f"{self.name}: in={self.total_in} out={self.total_out} "
             f"par={self.parallel_seconds * 1000:.1f}ms cpu={self.cpu_seconds * 1000:.1f}ms "
+            f"wall={self.wall_seconds * 1000:.1f}ms "
             f"skew={self.skew:.2f} shuffle={self.shuffled_records} "
             f"bcast={self.broadcast_records}"
         )
@@ -79,6 +87,10 @@ class JobMetrics:
 
     job_name: str = ""
     parallelism: int = 1
+    #: Executor backend the job ran on ("serial" or "process").
+    executor: str = "serial"
+    #: Worker-process count of the backend (1 for serial).
+    workers: int = 1
     stages: List[StageMetrics] = field(default_factory=list)
 
     def new_stage(self, name: str) -> StageMetrics:
@@ -91,6 +103,11 @@ class JobMetrics:
     def simulated_parallel_seconds(self) -> float:
         """Simulated cluster wall-clock: sum of slowest-partition times."""
         return sum(stage.parallel_seconds for stage in self.stages)
+
+    @property
+    def wall_clock_seconds(self) -> float:
+        """Real elapsed time across all stages (driver-measured)."""
+        return sum(stage.wall_seconds for stage in self.stages)
 
     @property
     def total_cpu_seconds(self) -> float:
@@ -124,6 +141,8 @@ class JobMetrics:
                 records_out=list(stage.records_out),
                 shuffled_records=stage.shuffled_records,
                 broadcast_records=stage.broadcast_records,
+                peak_state_cost=stage.peak_state_cost,
+                wall_seconds=stage.wall_seconds,
             )
             self.stages.append(absorbed)
 
@@ -133,6 +152,7 @@ class JobMetrics:
             "parallelism": self.parallelism,
             "stages": len(self.stages),
             "simulated_parallel_seconds": self.simulated_parallel_seconds,
+            "wall_clock_seconds": self.wall_clock_seconds,
             "total_cpu_seconds": self.total_cpu_seconds,
             "shuffled_records": self.shuffled_records,
             "broadcast_records": self.broadcast_records,
@@ -140,11 +160,15 @@ class JobMetrics:
 
     def describe(self) -> str:
         """Multi-line report of all stages plus totals."""
-        lines = [f"job {self.job_name!r} (parallelism={self.parallelism})"]
+        lines = [
+            f"job {self.job_name!r} (parallelism={self.parallelism}, "
+            f"executor={self.executor}, workers={self.workers})"
+        ]
         lines.extend("  " + stage.describe() for stage in self.stages)
         lines.append(
             f"  TOTAL: par={self.simulated_parallel_seconds * 1000:.1f}ms "
             f"cpu={self.total_cpu_seconds * 1000:.1f}ms "
+            f"wall={self.wall_clock_seconds * 1000:.1f}ms "
             f"shuffle={self.shuffled_records} bcast={self.broadcast_records}"
         )
         return "\n".join(lines)
