@@ -1,0 +1,109 @@
+"""Fault recovery: injected failures and adaptive OOM degradation.
+
+Not a paper figure — this characterizes the fault-tolerance layer the
+paper inherits from Flink for free (Section 8 runs on a cluster whose
+task failures Flink re-executes from lineage).  Two questions:
+
+* what does recovery *cost*?  A seeded FaultPlan injects transient task
+  failures, a worker crash, and stragglers into every pipeline phase; the
+  run must produce byte-identical CINDs/ARs (asserted) and the overhead
+  is the re-executed tasks only.
+* what does recovery *buy*?  The Figure 12 failure case — RDFind-DE on
+  full-size Diseasome at h=10, whose fused-combiner state exceeds the
+  calibrated single-node budget — is rerun with ``--oom-recovery``: the
+  engine spills the combiner / key-splits the offending buckets and the
+  run completes with byte-identical output instead of aborting.
+"""
+
+from repro.core.discovery import RDFind, RDFindConfig
+from repro.dataflow.engine import SimulatedOutOfMemory
+from repro.dataflow.faults import FaultPlan
+
+from benchmarks.conftest import once
+
+FAULT_SEED = 1234
+FAULT_DATASET = "Countries"
+FAULT_H = 25
+
+#: The Figure 12 failure: DE's combiner state on Diseasome h=10 needs
+#: ~6.0M cells against the 6M single-node budget (bench_fig12 reports the
+#: abort; the paper's 40 GB cluster absorbed it).
+OOM_DATASET = "Diseasome"
+OOM_H = 10
+OOM_BUDGET = 6_000_000
+
+
+def _identical(a, b):
+    return a.cinds == b.cinds and a.association_rules == b.association_rules
+
+
+def test_fault_recovery(benchmark, report, cache):
+    def body():
+        clean_result, clean_seconds = cache.run(
+            FAULT_DATASET, FAULT_H, parallelism=4, executor="serial"
+        )
+        faulty = RDFind(
+            RDFindConfig(
+                support_threshold=FAULT_H,
+                parallelism=4,
+                fault_seed=FAULT_SEED,
+            )
+        ).discover(cache.dataset(FAULT_DATASET))
+
+        de_clean = cache.run(OOM_DATASET, OOM_H, variant="de")[0]
+        budgeted = RDFindConfig.direct_extraction(
+            support_threshold=OOM_H, memory_budget=OOM_BUDGET
+        )
+        oom_error = None
+        try:
+            RDFind(budgeted).discover(cache.dataset(OOM_DATASET))
+        except SimulatedOutOfMemory as error:
+            oom_error = error
+        recovered = RDFind(
+            RDFindConfig.direct_extraction(
+                support_threshold=OOM_H,
+                memory_budget=OOM_BUDGET,
+                oom_recovery=True,
+            )
+        ).discover(cache.dataset(OOM_DATASET))
+        return (clean_result, clean_seconds), faulty, de_clean, oom_error, recovered
+
+    (clean_result, clean_seconds), faulty, de_clean, oom_error, recovered = once(
+        benchmark, body
+    )
+
+    section = report.section(
+        f"Fault recovery — seeded injection ({FAULT_DATASET} h={FAULT_H}, "
+        f"seed {FAULT_SEED}) and OOM degradation ({OOM_DATASET} h={OOM_H}, "
+        f"budget {OOM_BUDGET:,} cells)"
+    )
+
+    metrics = faulty.metrics
+    same = _identical(clean_result, faulty)
+    overhead = faulty.elapsed_seconds / clean_seconds
+    section.row(
+        f"injection: {metrics.total_faults_injected} faults over "
+        f"{len(metrics.stages)} stages, {metrics.total_retries} task "
+        f"retries -> output {'identical' if same else 'DIFFERS'}, "
+        f"{overhead:.2f}x clean wall-clock "
+        f"({faulty.elapsed_seconds:.2f}s vs {clean_seconds:.2f}s)"
+    )
+    assert same, "faulty run output differs from clean run"
+    assert metrics.total_faults_injected > 0, "seed injected nothing"
+    assert metrics.total_retries > 0
+
+    assert oom_error is not None, "budget did not fail without recovery"
+    section.row(
+        f"without --oom-recovery: aborted at {oom_error.stage} "
+        f"({oom_error.records:,} cells > {oom_error.budget:,})"
+    )
+    same_oom = _identical(de_clean, recovered)
+    section.row(
+        f"with    --oom-recovery: completed in "
+        f"{recovered.elapsed_seconds:.1f}s via "
+        f"{recovered.metrics.total_recovered_oom_splits} split/spill "
+        f"round(s) -> output {'identical' if same_oom else 'DIFFERS'} "
+        f"to the unconstrained run"
+    )
+    assert same_oom, "recovered run output differs from unconstrained run"
+    assert recovered.metrics.total_recovered_oom_splits >= 1

@@ -123,6 +123,17 @@ VERDICTS: Dict[str, str] = {
         "vertical-partitioning design of the in-memory RDF stores the "
         "paper builds on."
     ),
+    "Fault recovery": (
+        "**Verdict — recovery guarantee holds; overhead is bounded.** Not "
+        "a paper experiment — this characterizes the fault-tolerance layer "
+        "the paper inherits from Flink for free. With a seeded FaultPlan "
+        "injecting transient task failures, a worker crash, and "
+        "stragglers into every phase, discovery completes with CINDs/ARs "
+        "byte-identical to the clean run (asserted), paying only the "
+        "re-executed tasks. Adaptive OOM recovery (`--oom-recovery`) "
+        "turns a budget-exceeded abort into a completed run by key-"
+        "splitting the offending partitions, at a modest slowdown."
+    ),
     "Parallel scaling": (
         "**Verdict — infrastructure landed; speedup is hardware-gated.** "
         "The process executor produces byte-identical CINDs/ARs to serial "
@@ -148,7 +159,7 @@ def extract_sections(log_text: str) -> List[Tuple[str, List[str]]]:
         match = _SECTION_RE.match(line.strip())
         if match and any(
             match.group(1).startswith(prefix)
-            for prefix in ("Table", "Figure", "Section", "Storage", "Parallel")
+            for prefix in ("Table", "Figure", "Section", "Storage", "Parallel", "Fault")
         ):
             if title is not None:
                 sections.append((title, current))

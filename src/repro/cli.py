@@ -106,12 +106,28 @@ def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
         "--workers", type=int, default=None,
         help="process-pool size (default: min(parallelism, cores))",
     )
+    parser.add_argument(
+        "--faults", type=int, default=None, metavar="SEED",
+        help="inject deterministic faults from this seed (transient errors, "
+        "worker crashes, stragglers); recovery must reproduce the clean "
+        "output byte-for-byte",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=None,
+        help="retry budget per task (default: 2)",
+    )
+    parser.add_argument(
+        "--oom-recovery", action="store_true", default=False,
+        help="recover from simulated out-of-memory by splitting the "
+        "offending partition state by key hash (off by default)",
+    )
 
 
 def _apply_executor_flags(args: argparse.Namespace) -> None:
-    """Publish --executor/--workers as environment defaults.
+    """Publish executor/fault flags as environment defaults.
 
-    ``RDFindConfig`` reads RDFIND_EXECUTOR / RDFIND_WORKERS as its
+    ``RDFindConfig`` reads RDFIND_EXECUTOR / RDFIND_WORKERS /
+    RDFIND_FAULTS / RDFIND_MAX_RETRIES / RDFIND_OOM_RECOVERY as its
     defaults, so setting the environment here makes the choice reach every
     config the subcommands build internally (funnel, profile, rank, ...).
     """
@@ -119,6 +135,12 @@ def _apply_executor_flags(args: argparse.Namespace) -> None:
         os.environ["RDFIND_EXECUTOR"] = args.executor
     if getattr(args, "workers", None):
         os.environ["RDFIND_WORKERS"] = str(args.workers)
+    if getattr(args, "faults", None) is not None:
+        os.environ["RDFIND_FAULTS"] = str(args.faults)
+    if getattr(args, "max_retries", None) is not None:
+        os.environ["RDFIND_MAX_RETRIES"] = str(args.max_retries)
+    if getattr(args, "oom_recovery", False):
+        os.environ["RDFIND_OOM_RECOVERY"] = "1"
 
 
 def _discover(args: argparse.Namespace) -> DiscoveryResult:
@@ -167,6 +189,17 @@ def cmd_discover(args: argparse.Namespace) -> int:
         f"(simulated parallel {result.metrics.simulated_parallel_seconds:.2f}s, "
         f"executor={result.metrics.executor} x{result.metrics.workers})"
     )
+    metrics = result.metrics
+    if (
+        metrics.total_faults_injected
+        or metrics.total_retries
+        or metrics.total_recovered_oom_splits
+    ):
+        print(
+            f"fault tolerance: {metrics.total_faults_injected} faults injected, "
+            f"{metrics.total_retries} task retries, "
+            f"{metrics.total_recovered_oom_splits} OOM splits recovered"
+        )
     for line in result.render_cinds(args.limit):
         print(" ", line)
     if result.association_rules:

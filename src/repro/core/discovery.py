@@ -49,6 +49,7 @@ from repro.core.frequent_conditions import (
 from repro.core.minimality import broad_cind_list, consolidate_pertinent
 from repro.dataflow.engine import ExecutionEnvironment, record_cells
 from repro.dataflow.executors import EXECUTOR_NAMES
+from repro.dataflow.faults import FaultPlan, RetryPolicy
 from repro.dataflow.gcpause import gc_paused
 from repro.dataflow.metrics import JobMetrics
 from repro.rdf.model import Dataset, EncodedDataset, TermDictionary
@@ -103,6 +104,26 @@ class RDFindConfig:
         Pool size for the ``process`` executor (defaults to
         ``min(parallelism, available cores)``; ``RDFIND_WORKERS``
         overrides when set).
+    fault_seed:
+        When set, build a seeded deterministic
+        :class:`~repro.dataflow.faults.FaultPlan` and inject faults into
+        every stage's tasks (transient errors, worker crashes,
+        stragglers).  Recovery must reproduce the fault-free output
+        byte-for-byte.  ``RDFIND_FAULTS`` supplies the default.
+    fault_plan:
+        An explicit plan (overrides ``fault_seed``); lets tests force
+        specific faults at specific stages.
+    max_retries:
+        Retry budget per task (``RetryPolicy.max_retries``).  ``None``
+        keeps the policy default.  ``RDFIND_MAX_RETRIES`` supplies the
+        default.
+    oom_recovery:
+        Adaptive out-of-memory degradation: when a stage's task exceeds
+        the ``memory_budget``, the engine splits the offending partition
+        state by key hash (or spills the combiner) and retries at higher
+        effective parallelism instead of failing the run.  Off by
+        default — the paper's reported OOM failures stay reproducible.
+        ``RDFIND_OOM_RECOVERY`` supplies the default.
     """
 
     support_threshold: int = 25
@@ -127,6 +148,25 @@ class RDFindConfig:
             else None
         )
     )
+    fault_seed: Optional[int] = field(
+        default_factory=lambda: (
+            int(os.environ["RDFIND_FAULTS"])
+            if os.environ.get("RDFIND_FAULTS")
+            else None
+        )
+    )
+    fault_plan: Optional[FaultPlan] = None
+    max_retries: Optional[int] = field(
+        default_factory=lambda: (
+            int(os.environ["RDFIND_MAX_RETRIES"])
+            if os.environ.get("RDFIND_MAX_RETRIES")
+            else None
+        )
+    )
+    oom_recovery: bool = field(
+        default_factory=lambda: os.environ.get("RDFIND_OOM_RECOVERY", "").lower()
+        in ("1", "true", "yes", "on")
+    )
 
     def __post_init__(self) -> None:
         if self.support_threshold < 1:
@@ -145,6 +185,22 @@ class RDFindConfig:
             )
         if self.workers is not None and self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.max_retries is not None and self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+
+    def effective_fault_plan(self) -> Optional[FaultPlan]:
+        """The plan to inject: explicit plan wins, else seeded, else none."""
+        if self.fault_plan is not None:
+            return self.fault_plan
+        if self.fault_seed is not None:
+            return FaultPlan(seed=self.fault_seed)
+        return None
+
+    def effective_retry_policy(self) -> Optional[RetryPolicy]:
+        """A policy honouring ``max_retries``, or ``None`` for the default."""
+        if self.max_retries is None:
+            return None
+        return RetryPolicy(max_retries=self.max_retries)
 
     @classmethod
     def direct_extraction(cls, **overrides) -> "RDFindConfig":
@@ -287,6 +343,9 @@ class RDFind:
             name=f"{config.variant_name}(h={config.support_threshold})",
             executor=config.executor,
             workers=config.workers,
+            fault_plan=config.effective_fault_plan(),
+            retry_policy=config.effective_retry_policy(),
+            oom_recovery=config.oom_recovery,
         )
         try:
             use_columns = config.storage == "encoded"

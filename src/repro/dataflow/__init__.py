@@ -36,6 +36,13 @@ from repro.dataflow.executors import (
     available_cores,
     create_executor,
 )
+from repro.dataflow.faults import (
+    FaultPlan,
+    InjectedTaskFault,
+    RetryPolicy,
+    SimulatedClock,
+    SimulatedWorkerCrash,
+)
 from repro.dataflow.metrics import JobMetrics, StageMetrics
 
 __all__ = [
@@ -49,6 +56,11 @@ __all__ = [
     "ProcessExecutor",
     "available_cores",
     "create_executor",
+    "FaultPlan",
+    "InjectedTaskFault",
+    "RetryPolicy",
+    "SimulatedClock",
+    "SimulatedWorkerCrash",
     "JobMetrics",
     "StageMetrics",
 ]

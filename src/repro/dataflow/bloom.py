@@ -51,13 +51,35 @@ _MASK64 = (1 << 64) - 1
 _GOLDEN = 0x9E3779B97F4A7C15
 
 
+def _mix64(value: int) -> int:
+    """splitmix64 finalizer (mirrors ``engine._mix_int``; kept local so the
+    Bloom filter stays dependency-free).
+
+    Builtin ``hash`` is the identity for small ints, so the dense
+    sequential term ids a :class:`~repro.rdf.model.TermDictionary` hands
+    out would otherwise produce *correlated* probe positions — adjacent
+    ids probing adjacent slots — and an observed false-positive rate well
+    above the configured one.  The finalizer decorrelates them.
+    """
+    value &= _MASK64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return value ^ (value >> 31)
+
+
 def _is_int_key(item: Any) -> bool:
-    """True for ints and (nested) tuples of ints.
+    """True for ints and (nested) tuples of ints — but not bools.
 
     Python's built-in ``hash`` is deterministic across processes for these
     types (``PYTHONHASHSEED`` only randomizes str/bytes), so they can use
-    the fast path.
+    the fast path.  ``bool`` is excluded although it subclasses ``int``:
+    ``hash(True) == hash(1)``, so the fast path would alias ``True`` with
+    ``1`` while :func:`_canonical_bytes` deliberately distinguishes them
+    (``b"B1"`` vs ``b"i..."``) — membership semantics must not depend on
+    which path a key takes.
     """
+    if isinstance(item, bool):
+        return False
     if isinstance(item, int):
         return True
     if isinstance(item, tuple):
@@ -67,8 +89,8 @@ def _is_int_key(item: Any) -> bool:
 
 def _hash_pair(item: Any) -> Tuple[int, int]:
     if _is_int_key(item):
-        h1 = hash(item) & _MASK64
-        h2 = (hash((_GOLDEN, item)) & _MASK64) | 1  # odd, so it cycles all slots
+        h1 = _mix64(hash(item))
+        h2 = _mix64(h1 ^ _GOLDEN) | 1  # odd, so it cycles all slots
         return h1, h2
     digest = hashlib.blake2b(_canonical_bytes(item), digest_size=16).digest()
     h1 = int.from_bytes(digest[:8], "big")

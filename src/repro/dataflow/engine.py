@@ -47,6 +47,16 @@ have to hold more records than the budget allows.  The exception pickles
 faithfully, so a budget blown inside a pool worker surfaces in the driver
 exactly like a serial one.  The paper's Figures 7 and 13 report such
 failures for Cinderella and RDFind-DE.
+
+With ``oom_recovery=True`` the engine treats memory exhaustion as an
+operating mode instead of a crash (full-in-memory RDF engines in the
+vertical-partitioning tradition do the same): a stateful stage that blows
+the budget is retried at higher effective parallelism — its hash buckets
+are split into sub-buckets re-routed by a salted :func:`stable_hash` of
+the key, so each sub-task holds a strictly smaller state — and a combiner
+that blows the budget degrades to no-combine streaming (a spill).  Runs
+that would have failed complete slower instead; the flag defaults off so
+the paper's failure tables still reproduce.
 """
 
 from __future__ import annotations
@@ -68,6 +78,11 @@ from typing import (
 )
 
 from repro.dataflow.executors import create_executor
+from repro.dataflow.faults import (
+    FaultPlan,
+    RetryPolicy,
+    SimulatedOutOfMemory,
+)
 from repro.dataflow.metrics import JobMetrics, StageMetrics
 
 T = TypeVar("T")
@@ -75,24 +90,15 @@ U = TypeVar("U")
 K = TypeVar("K")
 V = TypeVar("V")
 
-
-class SimulatedOutOfMemory(MemoryError):
-    """A simulated worker exceeded its per-partition memory budget."""
-
-    def __init__(self, stage: str, records: int, budget: int) -> None:
-        super().__init__(
-            f"stage {stage!r}: worker needed {records} in-memory records, "
-            f"budget is {budget}"
-        )
-        self.stage = stage
-        self.records = records
-        self.budget = budget
-
-    def __reduce__(self):
-        # BaseException pickles via self.args, which holds the formatted
-        # message, not the three constructor arguments; without this
-        # override the exception could not cross a process-pool boundary.
-        return (SimulatedOutOfMemory, (self.stage, self.records, self.budget))
+__all__ = [
+    "DataSet",
+    "ExecutionEnvironment",
+    "SimulatedOutOfMemory",  # re-exported from repro.dataflow.faults
+    "stable_hash",
+    "pair_key",
+    "pair_value",
+    "record_cells",
+]
 
 
 # ----------------------------------------------------------------------
@@ -278,6 +284,57 @@ def _fused_combine_shuffle_task(payload):
     return buckets, len(local), peak, time.perf_counter() - start
 
 
+def _fused_nocombine_shuffle_task(payload):
+    """The spill path of the fused operator: stream pairs, hold no state.
+
+    Used by OOM recovery when the combiner state of
+    :func:`_fused_combine_shuffle_task` blows the memory budget — the
+    flatMap output goes straight into the shuffle buckets, so the worker
+    needs no aggregation table at all.  The shuffle volume grows (every
+    pair moves instead of one entry per key), which is exactly the
+    slow-but-completed trade the recovery mode makes.
+    """
+    flat_fn, _reduce_fn, _state_cost_fn, parallelism, _budget, _stage, partition = payload
+    start = time.perf_counter()
+    buckets: List[List[Tuple[Any, Any]]] = [[] for _ in range(parallelism)]
+    emitted = 0
+    for item in partition:
+        for key, value in flat_fn(item):
+            buckets[_hash_partition(key, parallelism)].append((key, value))
+            emitted += 1
+    return buckets, emitted, 0, time.perf_counter() - start
+
+
+#: Salt decorrelating the OOM sub-bucket routing from the primary
+#: bucket routing (both are stable_hash-based; without a salt every
+#: record of one bucket would land in the same sub-bucket).
+_OOM_SPLIT_SALT = 0x5851F42D4C957F2D
+
+#: Upper bound on the per-bucket split factor OOM recovery will try
+#: before conceding that the budget cannot be met (2 -> 4 -> ... -> 256).
+MAX_OOM_SPLIT_FACTOR = 256
+
+
+def _oom_split_index(key: Any, factor: int) -> int:
+    """Deterministic sub-bucket for ``key`` under a split ``factor``."""
+    return _mix_int(stable_hash(key) ^ _OOM_SPLIT_SALT) % factor
+
+
+def _split_bucket_by_key(
+    bucket: List[Tuple[Any, Any]], factor: int
+) -> List[List[Tuple[Any, Any]]]:
+    """Split one ``(key, ...)`` bucket into ``factor`` key-disjoint parts.
+
+    Every occurrence of a key lands in the same sub-bucket (routing is a
+    pure function of the key), so keyed reduction/grouping over the parts
+    is exact — the stage merely runs at higher effective parallelism.
+    """
+    parts: List[List[Tuple[Any, Any]]] = [[] for _ in range(factor)]
+    for pair in bucket:
+        parts[_oom_split_index(pair[0], factor)].append(pair)
+    return parts
+
+
 def _reduce_bucket_task(payload):
     """The post-shuffle reduction of one key bucket."""
     reduce_fn, budget, stage, bucket = payload
@@ -371,6 +428,22 @@ class ExecutionEnvironment:
     workers:
         Pool size for the ``process`` backend; defaults to
         ``min(parallelism, available cores)``.  Ignored by ``serial``.
+    fault_plan:
+        Optional seeded :class:`~repro.dataflow.faults.FaultPlan`; when
+        given, the executor injects deterministic per-task faults
+        (transient errors, worker crashes, stragglers, forced OOMs) that
+        the retry machinery must absorb — output stays byte-identical.
+    retry_policy:
+        Bounded-retry/backoff configuration for failed tasks
+        (:class:`~repro.dataflow.faults.RetryPolicy`; a default policy
+        with 2 retries applies when omitted).
+    oom_recovery:
+        When ``True``, a stateful stage that raises
+        :class:`SimulatedOutOfMemory` is retried with its partitions
+        split by a salted key hash (and combiners degraded to streaming)
+        instead of failing the job.  Off by default so configured budget
+        failures — the paper's Figure 7/13 "failed" cells — still
+        reproduce.
     """
 
     def __init__(
@@ -380,12 +453,22 @@ class ExecutionEnvironment:
         name: str = "job",
         executor: str = "serial",
         workers: Optional[int] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        oom_recovery: bool = False,
     ) -> None:
         if parallelism < 1:
             raise ValueError("parallelism must be >= 1")
         self.parallelism = int(parallelism)
         self.memory_budget = memory_budget
-        self.executor = create_executor(executor, self.parallelism, workers)
+        self.oom_recovery = bool(oom_recovery)
+        self.executor = create_executor(
+            executor,
+            self.parallelism,
+            workers,
+            retry_policy=retry_policy,
+            fault_plan=fault_plan,
+        )
         self.metrics = JobMetrics(
             job_name=name,
             parallelism=self.parallelism,
@@ -488,10 +571,12 @@ class DataSet(Generic[T]):
         """Run one task per payload on the executor, recording wall-clock.
 
         ``records`` hints the stage's total input size so the process
-        backend can run trivially small stages inline.
+        backend can run trivially small stages inline.  The stage record
+        itself is handed to the executor so fault injections and retries
+        are accounted where they happen.
         """
         start = time.perf_counter()
-        results = self.env.executor.run(task, payloads, records=records)
+        results = self.env.executor.run(task, payloads, records=records, stage=stage)
         stage.wall_seconds += time.perf_counter() - start
         return results
 
@@ -578,6 +663,60 @@ class DataSet(Generic[T]):
                 buckets[index].extend(chunk)
         return buckets
 
+    def _next_split_factor(self, stage: StageMetrics, factor: int) -> int:
+        """Advance one OOM-recovery round, or re-raise if recovery is off.
+
+        Called from an ``except SimulatedOutOfMemory`` block: doubles the
+        split factor (2, 4, ..., :data:`MAX_OOM_SPLIT_FACTOR`) and counts
+        the recovery on the stage.
+        """
+        if not self.env.oom_recovery or factor >= MAX_OOM_SPLIT_FACTOR:
+            raise
+        stage.recovered_oom_splits += 1
+        return factor * 2
+
+    def _run_split_bucket_stage(
+        self,
+        stage: StageMetrics,
+        task: Callable[[Any], Any],
+        buckets: List[List[Tuple[Any, Any]]],
+        make_payload: Callable[[List[Tuple[Any, Any]]], Any],
+        records: int,
+    ) -> List[List[Any]]:
+        """Run a per-bucket stateful task, splitting buckets on OOM.
+
+        On :class:`SimulatedOutOfMemory` (with recovery enabled) every
+        bucket is split into key-disjoint sub-buckets re-routed by the
+        salted :func:`stable_hash` sub-key, and the stage is retried at
+        the higher effective parallelism — doubling the factor until the
+        per-sub-task state fits the budget.  Returns one result list per
+        *original* bucket (sub-results concatenated in split order).
+        """
+        factor = 1
+        while True:
+            if factor == 1:
+                sub_buckets: List[List[Tuple[Any, Any]]] = list(buckets)
+            else:
+                sub_buckets = [
+                    part
+                    for bucket in buckets
+                    for part in _split_bucket_by_key(bucket, factor)
+                ]
+            payloads = [make_payload(bucket) for bucket in sub_buckets]
+            try:
+                results = self._run_stage(stage, task, payloads, records=records)
+                break
+            except SimulatedOutOfMemory:
+                factor = self._next_split_factor(stage, factor)
+        for sub_bucket, (result, elapsed) in zip(sub_buckets, results):
+            stage.partition_seconds.append(elapsed)
+            stage.records_in.append(len(sub_bucket))
+            stage.records_out.append(len(result))
+        out: List[List[Any]] = [[] for _ in buckets]
+        for index, (result, _elapsed) in enumerate(results):
+            out[index // factor].extend(result)
+        return out
+
     def _reduce_buckets(
         self,
         buckets: List[List[Tuple[K, V]]],
@@ -587,18 +726,13 @@ class DataSet(Generic[T]):
         """The post-shuffle reduce stage shared by the keyed operators."""
         env = self.env
         reduce_stage = env.metrics.new_stage(name)
-        payloads = [
-            (reduce_fn, env.memory_budget, name, bucket) for bucket in buckets
-        ]
-        out: List[List[Tuple[K, V]]] = []
-        for bucket, (result, elapsed) in zip(
-            buckets, self._run_stage(reduce_stage, _reduce_bucket_task, payloads, records=sum(len(b) for b in buckets))
-        ):
-            reduce_stage.partition_seconds.append(elapsed)
-            reduce_stage.records_in.append(len(bucket))
-            reduce_stage.records_out.append(len(result))
-            out.append(result)
-        return out
+        return self._run_split_bucket_stage(
+            reduce_stage,
+            _reduce_bucket_task,
+            buckets,
+            lambda bucket: (reduce_fn, env.memory_budget, name, bucket),
+            records=sum(len(b) for b in buckets),
+        )
 
     def reduce_by_key(
         self,
@@ -631,7 +765,20 @@ class DataSet(Generic[T]):
             )
             for partition in self.partitions
         ]
-        results = self._run_stage(stage, _combine_shuffle_task, payloads, records=self._total_records())
+        try:
+            results = self._run_stage(stage, _combine_shuffle_task, payloads, records=self._total_records())
+        except SimulatedOutOfMemory:
+            # Combiner state blew the budget: spill — re-run the stage
+            # without local pre-aggregation (the combine=False path holds
+            # no state), trading shuffle volume for completion.
+            if not (env.oom_recovery and combine):
+                raise
+            stage.recovered_oom_splits += 1
+            payloads = [
+                (key_fn, value_fn, reduce_fn, False, parallelism, None, name, partition)
+                for partition in self.partitions
+            ]
+            results = self._run_stage(stage, _combine_shuffle_task, payloads, records=self._total_records())
         shuffled = 0
         for partition, (_buckets, emitted, elapsed) in zip(self.partitions, results):
             shuffled += emitted
@@ -678,7 +825,19 @@ class DataSet(Generic[T]):
             )
             for partition in self.partitions
         ]
-        results = self._run_stage(stage, _fused_combine_shuffle_task, payloads, records=self._total_records())
+        try:
+            results = self._run_stage(stage, _fused_combine_shuffle_task, payloads, records=self._total_records())
+        except SimulatedOutOfMemory:
+            # The fused combiner's state (e.g. candidate sets on dominant
+            # capture groups — the footprint that kills RDFind-DE) blew
+            # the budget: spill to the no-combine streaming task, which
+            # holds no aggregation state at all.  The un-combined pairs
+            # inflate the shuffle, and the post-shuffle reduce still
+            # recovers by key-splitting if a bucket's state is too big.
+            if not env.oom_recovery:
+                raise
+            stage.recovered_oom_splits += 1
+            results = self._run_stage(stage, _fused_nocombine_shuffle_task, payloads, records=self._total_records())
         shuffled = 0
         for partition, (_buckets, emitted, peak, elapsed) in zip(
             self.partitions, results
@@ -716,18 +875,13 @@ class DataSet(Generic[T]):
         buckets = self._gather_buckets(split for split, _t in results)
 
         group_stage = env.metrics.new_stage(name + "/group")
-        group_payloads = [
-            (env.memory_budget, name + "/group", bucket) for bucket in buckets
-        ]
-        out: List[List[Tuple[K, List[T]]]] = []
-        for bucket, (result, elapsed) in zip(
+        out = self._run_split_bucket_stage(
+            group_stage,
+            _group_bucket_task,
             buckets,
-            self._run_stage(group_stage, _group_bucket_task, group_payloads, records=sum(len(b) for b in buckets)),
-        ):
-            group_stage.partition_seconds.append(elapsed)
-            group_stage.records_in.append(len(bucket))
-            group_stage.records_out.append(len(result))
-            out.append(result)
+            lambda bucket: (env.memory_budget, name + "/group", bucket),
+            records=sum(len(b) for b in buckets),
+        )
         return DataSet(env, out, name=name)
 
     # ------------------------------------------------------------------
@@ -779,25 +933,45 @@ class DataSet(Generic[T]):
         right_buckets = self._gather_buckets(split for split, _t in right_results)
 
         apply_stage = env.metrics.new_stage(name + "/apply")
-        apply_payloads = [
-            (fn, env.memory_budget, name + "/apply", left_bucket, right_bucket)
-            for left_bucket, right_bucket in zip(left_buckets, right_buckets)
-        ]
-        out: List[List[Any]] = []
-        for (left_bucket, right_bucket), (result, elapsed) in zip(
-            zip(left_buckets, right_buckets),
-            self._run_stage(
-                apply_stage,
-                _co_group_apply_task,
-                apply_payloads,
-                records=sum(len(b) for b in left_buckets)
-                + sum(len(b) for b in right_buckets),
-            ),
-        ):
+        apply_records = sum(len(b) for b in left_buckets) + sum(
+            len(b) for b in right_buckets
+        )
+        factor = 1
+        while True:
+            if factor == 1:
+                pairs = list(zip(left_buckets, right_buckets))
+            else:
+                # Both sides split by the same salted key routing, so each
+                # sub-pair co-groups a disjoint key subset exactly.
+                pairs = [
+                    (left_part, right_part)
+                    for left_bucket, right_bucket in zip(left_buckets, right_buckets)
+                    for left_part, right_part in zip(
+                        _split_bucket_by_key(left_bucket, factor),
+                        _split_bucket_by_key(right_bucket, factor),
+                    )
+                ]
+            apply_payloads = [
+                (fn, env.memory_budget, name + "/apply", left_bucket, right_bucket)
+                for left_bucket, right_bucket in pairs
+            ]
+            try:
+                results = self._run_stage(
+                    apply_stage,
+                    _co_group_apply_task,
+                    apply_payloads,
+                    records=apply_records,
+                )
+                break
+            except SimulatedOutOfMemory:
+                factor = self._next_split_factor(apply_stage, factor)
+        for (left_bucket, right_bucket), (result, elapsed) in zip(pairs, results):
             apply_stage.partition_seconds.append(elapsed)
             apply_stage.records_in.append(len(left_bucket) + len(right_bucket))
             apply_stage.records_out.append(len(result))
-            out.append(result)
+        out: List[List[Any]] = [[] for _ in left_buckets]
+        for index, (result, _elapsed) in enumerate(results):
+            out[index // factor].extend(result)
         return DataSet(env, out, name=name)
 
     # ------------------------------------------------------------------

@@ -21,8 +21,16 @@ where those tasks run:
     ``functools.partial`` over module-level functions, or instances of
     module-level classes — never lambdas or closures.  Exceptions raised
     inside a worker (including
-    :class:`~repro.dataflow.engine.SimulatedOutOfMemory`) are pickled
+    :class:`~repro.dataflow.faults.SimulatedOutOfMemory`) are pickled
     back and re-raised in the driver.
+
+Both backends are *fault tolerant* (:mod:`repro.dataflow.faults`): tasks
+are pure functions over their payloads, so a failed task is simply
+re-executed under a bounded :class:`~repro.dataflow.faults.RetryPolicy`
+(exponential backoff charged to a simulated clock), and a broken process
+pool is rebuilt once with only the unfinished tasks replayed.  Because
+results are gathered by submission index either way, a recovered run is
+byte-identical to a clean one.
 
 Both backends return task results in submission order, so downstream
 concatenation — and therefore discovery output — is byte-identical
@@ -36,6 +44,13 @@ import os
 from concurrent.futures import BrokenExecutor
 from concurrent.futures import ProcessPoolExecutor as _ProcessPool
 from typing import Any, Callable, List, Optional, Sequence
+
+from repro.dataflow.faults import (
+    FaultInjectingTask,
+    FaultPlan,
+    RetryPolicy,
+    SimulatedClock,
+)
 
 #: The recognised backend names, in preference order.
 EXECUTOR_NAMES = ("serial", "process")
@@ -57,7 +72,69 @@ def default_worker_count(parallelism: int) -> int:
 #: Stages whose total input is below this many records run inline even
 #: under the process backend: four pipe crossings per stage cost more
 #: than re-running a few thousand records' worth of work in the driver.
+#: Stages that do not declare their input size (``records=None``) are
+#: treated as below the threshold — an undeclared size is a single
+#: payload or a driver-side stage, never a reason to pay the pool.
 DEFAULT_INLINE_THRESHOLD = 2048
+
+
+def _plan_for(
+    plan: Optional[FaultPlan],
+    stage,
+    stage_name: str,
+    task_index: int,
+    attempt: int,
+):
+    """Decide (and account) this slot's injected fault, if any."""
+    if plan is None:
+        return None
+    injected = plan.decide(stage_name, task_index, attempt)
+    if injected is not None and stage is not None:
+        stage.faults_injected += 1
+    return injected
+
+
+def _count_retry(stage, clock: SimulatedClock, policy: RetryPolicy, retry_number: int) -> None:
+    if stage is not None:
+        stage.retries += 1
+    clock.sleep(policy.delay(retry_number))
+
+
+def _run_tasks_inline(
+    task: Callable[[Any], Any],
+    payloads: Sequence[Any],
+    plan: Optional[FaultPlan],
+    policy: RetryPolicy,
+    clock: SimulatedClock,
+    stage,
+) -> List[Any]:
+    """The shared driver-side task loop: faults injected, failures retried.
+
+    ``stage`` is the driver's :class:`~repro.dataflow.metrics.StageMetrics`
+    record (or ``None``); only its fault counters are touched here.
+    """
+    stage_name = stage.name if stage is not None else ""
+    results: List[Any] = []
+    for index, payload in enumerate(payloads):
+        attempt = 0
+        while True:
+            injected = _plan_for(plan, stage, stage_name, index, attempt)
+            runnable = (
+                FaultInjectingTask(task, plan, stage_name, index, attempt)
+                if plan is not None
+                else task
+            )
+            try:
+                results.append(runnable(payload))
+                break
+            except BaseException as error:  # noqa: BLE001 - classified below
+                if attempt >= policy.max_retries or not policy.is_retryable(
+                    error, injected
+                ):
+                    raise
+                attempt += 1
+                _count_retry(stage, clock, policy, attempt)
+    return results
 
 
 class SerialExecutor:
@@ -66,14 +143,26 @@ class SerialExecutor:
     name = "serial"
     workers = 1
 
+    def __init__(
+        self,
+        retry_policy: Optional[RetryPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> None:
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self.fault_plan = fault_plan
+        self.clock = SimulatedClock()
+
     def run(
         self,
         task: Callable[[Any], Any],
         payloads: Sequence[Any],
         records: Optional[int] = None,
+        stage=None,
     ) -> List[Any]:
-        """Apply ``task`` to each payload sequentially."""
-        return [task(payload) for payload in payloads]
+        """Apply ``task`` to each payload sequentially (with retries)."""
+        return _run_tasks_inline(
+            task, payloads, self.fault_plan, self.retry_policy, self.clock, stage
+        )
 
     def close(self) -> None:
         """Nothing to release."""
@@ -88,11 +177,16 @@ class ProcessExecutor:
         self,
         workers: int,
         inline_threshold: int = DEFAULT_INLINE_THRESHOLD,
+        retry_policy: Optional[RetryPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = int(workers)
         self.inline_threshold = int(inline_threshold)
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self.fault_plan = fault_plan
+        self.clock = SimulatedClock()
         self._pool: Optional[_ProcessPool] = None
 
     def _ensure_pool(self) -> _ProcessPool:
@@ -110,32 +204,78 @@ class ProcessExecutor:
         task: Callable[[Any], Any],
         payloads: Sequence[Any],
         records: Optional[int] = None,
+        stage=None,
     ) -> List[Any]:
         """Submit every payload, then gather results in submission order.
 
         ``records`` is the stage's total input size; stages below the
-        inline threshold are run in the driver instead — the pool's pipe
-        crossings would dwarf the actual work.  All futures are drained
-        even when one fails, so the pool is left in a clean state; the
-        first failure is then re-raised in the driver (e.g. a worker's
-        ``SimulatedOutOfMemory``).
+        inline threshold (or with no declared size) are run in the driver
+        instead — the pool's pipe crossings would dwarf the actual work.
+
+        Failure handling: a retryable task failure (see
+        :meth:`RetryPolicy.is_retryable`) is resubmitted up to
+        ``max_retries`` times; a :class:`BrokenExecutor` — real pool
+        breakage or an injected
+        :class:`~repro.dataflow.faults.SimulatedWorkerCrash` — tears the
+        pool down, rebuilds it once, and replays only the unfinished
+        tasks.  Results land by submission index, so recovered output is
+        identical to a clean run's.
         """
-        if records is not None and records < self.inline_threshold:
-            return [task(payload) for payload in payloads]
-        pool = self._ensure_pool()
-        futures = [pool.submit(task, payload) for payload in payloads]
-        results: List[Any] = []
-        first_error: Optional[BaseException] = None
-        for future in futures:
-            try:
-                results.append(future.result())
-            except BaseException as error:  # noqa: BLE001 - re-raised below
-                if first_error is None:
-                    first_error = error
-        if first_error is not None:
-            if isinstance(first_error, BrokenExecutor):
+        if records is None or records < self.inline_threshold:
+            return _run_tasks_inline(
+                task, payloads, self.fault_plan, self.retry_policy, self.clock, stage
+            )
+        plan, policy, clock = self.fault_plan, self.retry_policy, self.clock
+        stage_name = stage.name if stage is not None else ""
+        total = len(payloads)
+        results: List[Any] = [None] * total
+        attempts = [0] * total
+        pending = list(range(total))
+        rebuilds = 0
+        while pending:
+            pool = self._ensure_pool()
+            submitted = []
+            for index in pending:
+                injected = _plan_for(plan, stage, stage_name, index, attempts[index])
+                runnable = (
+                    FaultInjectingTask(task, plan, stage_name, index, attempts[index])
+                    if plan is not None
+                    else task
+                )
+                submitted.append((index, injected, pool.submit(runnable, payloads[index])))
+            replay: List[int] = []
+            first_fatal: Optional[BaseException] = None
+            broken: Optional[BaseException] = None
+            for index, injected, future in submitted:
+                try:
+                    results[index] = future.result()
+                except BrokenExecutor as error:
+                    # The attempt still counts (so a planned crash does
+                    # not re-fire), but the replay is governed by the
+                    # one-rebuild allowance, not by max_retries: the task
+                    # did not fail, its worker did.
+                    broken = error
+                    attempts[index] += 1
+                    replay.append(index)
+                    if stage is not None:
+                        stage.retries += 1
+                except BaseException as error:  # noqa: BLE001 - classified below
+                    if attempts[index] < policy.max_retries and policy.is_retryable(
+                        error, injected
+                    ):
+                        attempts[index] += 1
+                        replay.append(index)
+                        _count_retry(stage, clock, policy, attempts[index])
+                    elif first_fatal is None:
+                        first_fatal = error
+            if broken is not None:
                 self.close()
-            raise first_error
+                rebuilds += 1
+                if rebuilds > 1:
+                    raise broken
+            if first_fatal is not None:
+                raise first_fatal
+            pending = replay
         return results
 
     def close(self) -> None:
@@ -146,14 +286,20 @@ class ProcessExecutor:
 
 
 def create_executor(
-    name: str, parallelism: int, workers: Optional[int] = None
+    name: str,
+    parallelism: int,
+    workers: Optional[int] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ):
     """Build the backend ``name`` sized for ``parallelism`` partitions."""
     if name == "serial":
-        return SerialExecutor()
+        return SerialExecutor(retry_policy=retry_policy, fault_plan=fault_plan)
     if name == "process":
         return ProcessExecutor(
-            workers if workers is not None else default_worker_count(parallelism)
+            workers if workers is not None else default_worker_count(parallelism),
+            retry_policy=retry_policy,
+            fault_plan=fault_plan,
         )
     raise ValueError(
         f"unknown executor {name!r} (expected one of {EXECUTOR_NAMES})"

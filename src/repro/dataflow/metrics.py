@@ -38,6 +38,14 @@ class StageMetrics:
     peak_state_cost: int = 0
     #: Real elapsed driver time for this stage's executor run(s).
     wall_seconds: float = 0.0
+    #: Task re-executions the executor performed for this stage
+    #: (transient failures, worker crashes — see repro.dataflow.faults).
+    retries: int = 0
+    #: Faults a seeded FaultPlan injected into this stage's tasks.
+    faults_injected: int = 0
+    #: Times the engine recovered this stage from a SimulatedOutOfMemory
+    #: by splitting partitions / spilling the combiner (--oom-recovery).
+    recovered_oom_splits: int = 0
 
     @property
     def parallel_seconds(self) -> float:
@@ -72,13 +80,19 @@ class StageMetrics:
 
     def describe(self) -> str:
         """One-line human-readable summary."""
-        return (
+        line = (
             f"{self.name}: in={self.total_in} out={self.total_out} "
             f"par={self.parallel_seconds * 1000:.1f}ms cpu={self.cpu_seconds * 1000:.1f}ms "
             f"wall={self.wall_seconds * 1000:.1f}ms "
             f"skew={self.skew:.2f} shuffle={self.shuffled_records} "
             f"bcast={self.broadcast_records}"
         )
+        if self.faults_injected or self.retries or self.recovered_oom_splits:
+            line += (
+                f" faults={self.faults_injected} retries={self.retries} "
+                f"oom-splits={self.recovered_oom_splits}"
+            )
+        return line
 
 
 @dataclass
@@ -124,6 +138,26 @@ class JobMetrics:
         """Total record-copies broadcast to workers."""
         return sum(stage.broadcast_records for stage in self.stages)
 
+    @property
+    def total_retries(self) -> int:
+        """Task re-executions across all stages (fault recovery)."""
+        return sum(stage.retries for stage in self.stages)
+
+    @property
+    def total_faults_injected(self) -> int:
+        """Injected faults across all stages (seeded FaultPlan)."""
+        return sum(stage.faults_injected for stage in self.stages)
+
+    @property
+    def total_recovered_oom_splits(self) -> int:
+        """Adaptive OOM recoveries across all stages (--oom-recovery)."""
+        return sum(stage.recovered_oom_splits for stage in self.stages)
+
+    @property
+    def max_skew(self) -> float:
+        """Worst max/mean partition-time ratio over all stages."""
+        return max((stage.skew for stage in self.stages), default=1.0)
+
     def stage_by_name(self, name: str) -> Optional[StageMetrics]:
         """First stage with the given name, if any."""
         for stage in self.stages:
@@ -143,19 +177,34 @@ class JobMetrics:
                 broadcast_records=stage.broadcast_records,
                 peak_state_cost=stage.peak_state_cost,
                 wall_seconds=stage.wall_seconds,
+                retries=stage.retries,
+                faults_injected=stage.faults_injected,
+                recovered_oom_splits=stage.recovered_oom_splits,
             )
             self.stages.append(absorbed)
 
     def summary(self) -> Dict[str, float]:
-        """Headline numbers as a dict (useful for benchmark rows)."""
+        """Headline numbers as a dict (useful for benchmark rows).
+
+        ``executor`` and ``workers`` identify the backend a row was
+        measured on (serial and process rows are otherwise
+        indistinguishable in benchmark JSON); ``skew`` is the worst
+        per-stage max/mean partition-time ratio.
+        """
         return {
             "parallelism": self.parallelism,
+            "executor": self.executor,
+            "workers": self.workers,
             "stages": len(self.stages),
             "simulated_parallel_seconds": self.simulated_parallel_seconds,
             "wall_clock_seconds": self.wall_clock_seconds,
             "total_cpu_seconds": self.total_cpu_seconds,
             "shuffled_records": self.shuffled_records,
             "broadcast_records": self.broadcast_records,
+            "skew": self.max_skew,
+            "retries": self.total_retries,
+            "faults_injected": self.total_faults_injected,
+            "recovered_oom_splits": self.total_recovered_oom_splits,
         }
 
     def describe(self) -> str:
@@ -165,10 +214,21 @@ class JobMetrics:
             f"executor={self.executor}, workers={self.workers})"
         ]
         lines.extend("  " + stage.describe() for stage in self.stages)
-        lines.append(
+        total = (
             f"  TOTAL: par={self.simulated_parallel_seconds * 1000:.1f}ms "
             f"cpu={self.total_cpu_seconds * 1000:.1f}ms "
             f"wall={self.wall_clock_seconds * 1000:.1f}ms "
             f"shuffle={self.shuffled_records} bcast={self.broadcast_records}"
         )
+        if (
+            self.total_faults_injected
+            or self.total_retries
+            or self.total_recovered_oom_splits
+        ):
+            total += (
+                f" faults={self.total_faults_injected} "
+                f"retries={self.total_retries} "
+                f"oom-splits={self.total_recovered_oom_splits}"
+            )
+        lines.append(total)
         return "\n".join(lines)

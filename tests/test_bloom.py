@@ -49,6 +49,47 @@ class TestBasics:
             BloomFilter(256, num_hashes=0)
 
 
+class TestIntFastPath:
+    """Regressions for the deterministic int fast path of ``_hash_pair``."""
+
+    def test_bool_does_not_alias_int(self):
+        """``hash(True) == hash(1)``, so bools must take the canonical-bytes
+        path (which distinguishes them) rather than the int fast path."""
+        bloom = BloomFilter(4096, num_hashes=4)
+        bloom.add(True)
+        assert True in bloom
+        assert 1 not in bloom
+        bloom2 = BloomFilter(4096, num_hashes=4)
+        bloom2.add(0)
+        assert 0 in bloom2
+        assert False not in bloom2
+
+    def test_bool_inside_tuple_not_aliased(self):
+        bloom = BloomFilter(4096, num_hashes=4)
+        bloom.add((True, 2))
+        assert (True, 2) in bloom
+        assert (1, 2) not in bloom
+
+    def test_sequential_ids_fp_rate(self):
+        """The regression the splitmix64 finalizer fixes: builtin ``hash``
+        is the identity for small ints, so dense sequential term ids
+        produced correlated probe positions and an observed FP rate far
+        above the configured one."""
+        fp_rate = 0.01
+        bloom = BloomFilter.from_items(range(2000), capacity=2000, fp_rate=fp_rate)
+        trials = 20_000
+        false_positives = sum(
+            1 for i in range(1_000_000, 1_000_000 + trials) if i in bloom
+        )
+        assert false_positives / trials <= 2 * fp_rate
+
+    def test_int_hashing_unaffected_by_magnitude(self):
+        """Large ints (beyond identity-hash range) still round-trip."""
+        keys = [2**70 + i for i in range(50)]
+        bloom = BloomFilter.from_items(keys, capacity=50)
+        assert all(key in bloom for key in keys)
+
+
 class TestSizing:
     def test_for_capacity_respects_fp_rate(self):
         small = BloomFilter.for_capacity(100, fp_rate=0.1)
@@ -139,6 +180,33 @@ class TestSerialization:
         payload = BloomFilter(256).to_bytes()
         with pytest.raises(ValueError):
             BloomFilter.from_bytes(payload[:-1])
+
+    def test_roundtrip_preserves_geometry(self):
+        bloom = BloomFilter(777, num_hashes=5)
+        clone = BloomFilter.from_bytes(bloom.to_bytes())
+        assert clone.num_bits == 777
+        assert clone.num_hashes == 5
+
+    def test_union_update_built_filter_roundtrips(self):
+        """The distributed-build shape: per-worker partials merged with
+        union_update, then serialized for broadcast (Figure 5, steps 3-4)."""
+        partials = []
+        for worker in range(4):
+            partial = BloomFilter(2048, num_hashes=4)
+            partial.update(range(worker * 25, (worker + 1) * 25))
+            partials.append(partial)
+        merged = partials[0]
+        for partial in partials[1:]:
+            merged.union_update(partial)
+        clone = BloomFilter.from_bytes(merged.to_bytes())
+        assert clone == merged
+        assert all(i in clone for i in range(100))
+        # mixed key types survive the round trip too
+        mixed = BloomFilter(2048, num_hashes=4)
+        mixed.update([True, 1, "one", (1, "x")])
+        restored = BloomFilter.from_bytes(mixed.to_bytes())
+        assert True in restored and 1 in restored
+        assert "one" in restored and (1, "x") in restored
 
 
 class TestNoFalseNegatives:
