@@ -1,0 +1,119 @@
+"""Spilling-shuffle benchmark: inline vs disk-backed data plane.
+
+Runs the full Diseasome discovery twice — once with the default
+``shuffle='inline'`` data plane (all shuffle state in Python dicts) and
+once with ``shuffle='spill'`` under a byte budget far below the inline
+working set — and compares wall-clock plus *peak RSS*.
+
+``resource.getrusage(...).ru_maxrss`` is a process-lifetime high-water
+mark, so measuring both legs in one interpreter would let the first leg
+mask the second.  Each leg therefore runs in its own subprocess that
+prints a JSON record (elapsed seconds, ru_maxrss, an output digest and
+the spill counters); the parent asserts the digests are identical and
+that the spill leg actually spilled.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+DATASET = "Diseasome"
+H = 25
+#: Far below the inline shuffle's working set on Diseasome, so every
+#: keyed operator is forced through the sorted-run/merge path.
+SPILL_BUDGET_BYTES = 1 << 20
+
+_CHILD_SCRIPT = """
+import hashlib, json, resource, sys, time
+
+from repro.core.discovery import RDFind, RDFindConfig
+from repro.datasets import registry
+
+dataset, h, shuffle, budget = (
+    sys.argv[1], int(sys.argv[2]), sys.argv[3], int(sys.argv[4])
+)
+encoded = registry.load(dataset, encoded=True)
+config = RDFindConfig(
+    support_threshold=h,
+    shuffle=shuffle,
+    memory_budget_bytes=budget or None,
+)
+started = time.perf_counter()
+result = RDFind(config).discover(encoded)
+elapsed = time.perf_counter() - started
+payload = "\\n".join(result.render_cinds())
+payload += "\\n--\\n" + "\\n".join(result.render_association_rules())
+print(json.dumps({
+    "elapsed": elapsed,
+    "ru_maxrss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    "digest": hashlib.sha256(payload.encode("utf-8")).hexdigest(),
+    "cinds": len(result.cinds),
+    "spilled_runs": result.metrics.total_spilled_runs,
+    "spilled_bytes": result.metrics.total_spilled_bytes,
+    "merge_passes": result.metrics.total_merge_passes,
+}))
+"""
+
+
+def _run_leg(shuffle: str, budget_bytes: int) -> dict:
+    """One discovery run in a fresh interpreter; parsed JSON record."""
+    repo_root = Path(__file__).resolve().parent.parent
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(repo_root / "src")
+    # The legs must not inherit a spill mode from the ambient shell.
+    for var in ("RDFIND_SHUFFLE", "RDFIND_MEMORY_BUDGET_BYTES", "RDFIND_SPILL_DIR"):
+        env.pop(var, None)
+    proc = subprocess.run(
+        [
+            sys.executable, "-c", _CHILD_SCRIPT,
+            DATASET, str(H), shuffle, str(budget_bytes),
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def test_shuffle_spill(benchmark, report):
+    def body():
+        inline = _run_leg("inline", 0)
+        spill = _run_leg("spill", SPILL_BUDGET_BYTES)
+        return inline, spill
+
+    inline, spill = benchmark.pedantic(body, rounds=1, iterations=1)
+
+    slowdown = spill["elapsed"] / max(inline["elapsed"], 1e-9)
+    section = report.section(
+        f"Spilling shuffle — {DATASET} (h={H}, "
+        f"budget={SPILL_BUDGET_BYTES // 1024} KiB)"
+    )
+    section.row(
+        f"inline {inline['elapsed']:6.2f}s"
+        f" | peak RSS {inline['ru_maxrss_kb'] / 1024:7.1f} MB"
+        f" | {inline['cinds']:,} pertinent CINDs"
+    )
+    section.row(
+        f"spill  {spill['elapsed']:6.2f}s ({slowdown:4.2f}x)"
+        f" | peak RSS {spill['ru_maxrss_kb'] / 1024:7.1f} MB"
+        f" | {spill['spilled_runs']:,} runs,"
+        f" {spill['spilled_bytes'] / 1e6:6.1f} MB spilled,"
+        f" {spill['merge_passes']:,} merge passes"
+    )
+    section.row(
+        "output digests identical: "
+        + ("yes" if inline["digest"] == spill["digest"] else "NO")
+    )
+
+    # The spilled plane must not change a single output byte, and under
+    # a budget this small it must actually hit the disk.
+    assert spill["digest"] == inline["digest"]
+    assert spill["spilled_runs"] > 0
+    assert spill["spilled_bytes"] > SPILL_BUDGET_BYTES
+    # Keeping shuffle state on disk must not *cost* memory: allow noise,
+    # but the spill leg may not materially exceed the inline high-water.
+    assert spill["ru_maxrss_kb"] <= inline["ru_maxrss_kb"] * 1.25

@@ -134,6 +134,20 @@ VERDICTS: Dict[str, str] = {
         "turns a budget-exceeded abort into a completed run by key-"
         "splitting the offending partitions, at a modest slowdown."
     ),
+    "Spilling shuffle": (
+        "**Verdict — bounded memory bought at a bounded slowdown; output "
+        "byte-identical (asserted).** Not a paper experiment — this "
+        "characterizes the disk-backed data plane standing in for Flink's "
+        "out-of-core shuffle, which the paper's billion-evidence groupings "
+        "rely on. With a spill budget far below the inline shuffle's "
+        "working set, discovery completes with identical CINDs/ARs while "
+        "the shuffle state lives in CRC-framed sorted runs on disk; the "
+        "runtime premium is the write-sort-merge tax. Peak RSS stays "
+        "within noise of the inline run's — at this scale the resident "
+        "dataset dominates both legs; the O(budget) bound on *shuffle* "
+        "state is pinned directly by `tests/test_shuffle.py`'s "
+        "peak-state assertions."
+    ),
     "Parallel scaling": (
         "**Verdict — infrastructure landed; speedup is hardware-gated.** "
         "The process executor produces byte-identical CINDs/ARs to serial "
@@ -159,7 +173,15 @@ def extract_sections(log_text: str) -> List[Tuple[str, List[str]]]:
         match = _SECTION_RE.match(line.strip())
         if match and any(
             match.group(1).startswith(prefix)
-            for prefix in ("Table", "Figure", "Section", "Storage", "Parallel", "Fault")
+            for prefix in (
+                "Table",
+                "Figure",
+                "Section",
+                "Storage",
+                "Parallel",
+                "Fault",
+                "Spilling",
+            )
         ):
             if title is not None:
                 sections.append((title, current))

@@ -121,13 +121,30 @@ def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
         help="recover from simulated out-of-memory by splitting the "
         "offending partition state by key hash (off by default)",
     )
+    parser.add_argument(
+        "--shuffle", choices=("inline", "spill"), default=None,
+        help="keyed-operator data plane: 'inline' (in-memory buckets, "
+        "default) or 'spill' (disk-backed sorted runs merged reduce-side; "
+        "byte-identical output in bounded memory)",
+    )
+    parser.add_argument(
+        "--memory-budget-bytes", type=int, default=None, metavar="BYTES",
+        help="per-worker byte cap on spill-mode shuffle state; overflowing "
+        "state is cut to a sorted run on disk (requires --shuffle spill)",
+    )
+    parser.add_argument(
+        "--spill-dir", default=None, metavar="DIR",
+        help="directory for spill workspaces (default: system temp dir); "
+        "each run gets a fresh subdirectory, removed when the run ends",
+    )
 
 
 def _apply_executor_flags(args: argparse.Namespace) -> None:
     """Publish executor/fault flags as environment defaults.
 
     ``RDFindConfig`` reads RDFIND_EXECUTOR / RDFIND_WORKERS /
-    RDFIND_FAULTS / RDFIND_MAX_RETRIES / RDFIND_OOM_RECOVERY as its
+    RDFIND_FAULTS / RDFIND_MAX_RETRIES / RDFIND_OOM_RECOVERY /
+    RDFIND_SHUFFLE / RDFIND_MEMORY_BUDGET_BYTES / RDFIND_SPILL_DIR as its
     defaults, so setting the environment here makes the choice reach every
     config the subcommands build internally (funnel, profile, rank, ...).
     """
@@ -141,6 +158,12 @@ def _apply_executor_flags(args: argparse.Namespace) -> None:
         os.environ["RDFIND_MAX_RETRIES"] = str(args.max_retries)
     if getattr(args, "oom_recovery", False):
         os.environ["RDFIND_OOM_RECOVERY"] = "1"
+    if getattr(args, "shuffle", None):
+        os.environ["RDFIND_SHUFFLE"] = args.shuffle
+    if getattr(args, "memory_budget_bytes", None) is not None:
+        os.environ["RDFIND_MEMORY_BUDGET_BYTES"] = str(args.memory_budget_bytes)
+    if getattr(args, "spill_dir", None):
+        os.environ["RDFIND_SPILL_DIR"] = args.spill_dir
 
 
 def _discover(args: argparse.Namespace) -> DiscoveryResult:

@@ -48,6 +48,7 @@ from repro.core.frequent_conditions import (
 )
 from repro.core.minimality import broad_cind_list, consolidate_pertinent
 from repro.dataflow.engine import ExecutionEnvironment, record_cells
+from repro.dataflow.shuffle import SHUFFLE_MODES
 from repro.dataflow.executors import EXECUTOR_NAMES
 from repro.dataflow.faults import FaultPlan, RetryPolicy
 from repro.dataflow.gcpause import gc_paused
@@ -124,6 +125,22 @@ class RDFindConfig:
         effective parallelism instead of failing the run.  Off by
         default — the paper's reported OOM failures stay reproducible.
         ``RDFIND_OOM_RECOVERY`` supplies the default.
+    shuffle:
+        Data plane for keyed operators: ``"inline"`` (in-memory buckets,
+        the default and reference) or ``"spill"`` (disk-backed sorted
+        runs under a byte-accurate budget, merged reduce-side; see
+        :mod:`repro.dataflow.shuffle`).  Output is byte-identical either
+        way.  ``RDFIND_SHUFFLE`` supplies the default.
+    memory_budget_bytes:
+        Per-worker byte cap on spill-mode shuffle state; overflowing
+        state is cut to a sorted run on disk.  Only meaningful with
+        ``shuffle="spill"``.  ``RDFIND_MEMORY_BUDGET_BYTES`` supplies the
+        default.
+    spill_dir:
+        Directory under which spill workspaces are created (a fresh
+        ``mkdtemp`` per run, removed when the run finishes — success or
+        failure).  Defaults to the system temp dir; ``RDFIND_SPILL_DIR``
+        supplies the default.
     """
 
     support_threshold: int = 25
@@ -167,6 +184,19 @@ class RDFindConfig:
         default_factory=lambda: os.environ.get("RDFIND_OOM_RECOVERY", "").lower()
         in ("1", "true", "yes", "on")
     )
+    shuffle: str = field(
+        default_factory=lambda: os.environ.get("RDFIND_SHUFFLE", "inline")
+    )
+    memory_budget_bytes: Optional[int] = field(
+        default_factory=lambda: (
+            int(os.environ["RDFIND_MEMORY_BUDGET_BYTES"])
+            if os.environ.get("RDFIND_MEMORY_BUDGET_BYTES")
+            else None
+        )
+    )
+    spill_dir: Optional[str] = field(
+        default_factory=lambda: os.environ.get("RDFIND_SPILL_DIR") or None
+    )
 
     def __post_init__(self) -> None:
         if self.support_threshold < 1:
@@ -187,6 +217,14 @@ class RDFindConfig:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
         if self.max_retries is not None and self.max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.shuffle not in SHUFFLE_MODES:
+            raise ValueError(
+                f"shuffle must be one of {SHUFFLE_MODES}, got {self.shuffle!r}"
+            )
+        if self.memory_budget_bytes is not None and self.memory_budget_bytes < 1:
+            raise ValueError(
+                f"memory_budget_bytes must be >= 1, got {self.memory_budget_bytes}"
+            )
 
     def effective_fault_plan(self) -> Optional[FaultPlan]:
         """The plan to inject: explicit plan wins, else seeded, else none."""
@@ -346,6 +384,9 @@ class RDFind:
             fault_plan=config.effective_fault_plan(),
             retry_policy=config.effective_retry_policy(),
             oom_recovery=config.oom_recovery,
+            shuffle=config.shuffle,
+            memory_budget_bytes=config.memory_budget_bytes,
+            spill_dir=config.spill_dir,
         )
         try:
             use_columns = config.storage == "encoded"

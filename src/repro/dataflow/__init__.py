@@ -20,6 +20,13 @@ Where the per-partition tasks run is pluggable
 inline (the reference), the ``process`` backend executes them concurrently
 on a persistent process pool — real multi-core execution with
 byte-identical output.
+
+How keyed operators move data is pluggable too
+(:mod:`repro.dataflow.shuffle`): the ``inline`` shuffle materializes
+buckets in memory (the reference), the ``spill`` shuffle cuts sorted,
+CRC-framed runs to disk under a byte-accurate memory budget and merges
+them reduce-side — bounded memory on arbitrarily large buckets, again
+with byte-identical output.
 """
 
 from repro.dataflow.bloom import BloomFilter
@@ -44,6 +51,13 @@ from repro.dataflow.faults import (
     SimulatedWorkerCrash,
 )
 from repro.dataflow.metrics import JobMetrics, StageMetrics
+from repro.dataflow.shuffle import (
+    SHUFFLE_MODES,
+    MemoryBudget,
+    RunInfo,
+    SpillConfig,
+    record_bytes,
+)
 
 __all__ = [
     "BloomFilter",
@@ -63,4 +77,9 @@ __all__ = [
     "SimulatedWorkerCrash",
     "JobMetrics",
     "StageMetrics",
+    "SHUFFLE_MODES",
+    "MemoryBudget",
+    "RunInfo",
+    "SpillConfig",
+    "record_bytes",
 ]

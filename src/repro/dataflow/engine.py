@@ -36,9 +36,26 @@ Reduce``                  paper's "early aggregation")
 ========================  ====================================================
 
 Shuffles are routed by :func:`stable_hash`, a deterministic 64-bit hash
-over the key types the pipeline uses.  Builtin ``hash`` would not do: it
-is randomized per process for strings (``PYTHONHASHSEED``), which would
-make partition assignment differ between pool workers and between runs.
+over the key types the pipeline uses (defined in
+:mod:`repro.dataflow.hashing`, re-exported here).  Builtin ``hash`` would
+not do: it is randomized per process for strings (``PYTHONHASHSEED``),
+which would make partition assignment differ between pool workers and
+between runs.
+
+The *shuffle mode* decides how keyed operators move data.  The default,
+``shuffle="inline"``, materializes every shuffle bucket in driver
+memory — the reference data plane, byte-identical to the engine's
+historical behaviour.  ``shuffle="spill"`` routes
+:meth:`DataSet.reduce_by_key`, :meth:`DataSet.flat_map_reduce_by_key`,
+:meth:`DataSet.group_by_key`, and :meth:`DataSet.co_group` through
+:mod:`repro.dataflow.shuffle` instead: map-side workers cut sorted,
+CRC-framed runs to disk whenever a byte-accurate
+:class:`~repro.dataflow.shuffle.MemoryBudget` (``memory_budget_bytes``)
+overflows, and reduce-side workers k-way-merge the runs — bounded memory
+regardless of bucket size, output asserted byte-identical to ``inline``
+on both executor backends.  Under the ``process`` backend the spill path
+also moves the shuffled data through the filesystem instead of pickling
+whole buckets through the driver.
 
 A configurable per-partition *memory budget* (max records materialized in
 any one worker's in-memory state) emulates out-of-memory failures: stateful
@@ -61,7 +78,9 @@ the paper's failure tables still reproduce.
 
 from __future__ import annotations
 
-import hashlib
+import os
+import shutil
+import tempfile
 import time
 from typing import (
     Any,
@@ -77,13 +96,21 @@ from typing import (
     TypeVar,
 )
 
+from repro.dataflow import shuffle as _shuffle
 from repro.dataflow.executors import create_executor
 from repro.dataflow.faults import (
     FaultPlan,
     RetryPolicy,
     SimulatedOutOfMemory,
 )
+from repro.dataflow.hashing import _mix_int, hash_partition, stable_hash
 from repro.dataflow.metrics import JobMetrics, StageMetrics
+from repro.dataflow.shuffle import (
+    SHUFFLE_MODES,
+    RunInfo,
+    SpillConfig,
+    record_bytes,
+)
 
 T = TypeVar("T")
 U = TypeVar("U")
@@ -94,65 +121,18 @@ __all__ = [
     "DataSet",
     "ExecutionEnvironment",
     "SimulatedOutOfMemory",  # re-exported from repro.dataflow.faults
-    "stable_hash",
+    "SHUFFLE_MODES",  # re-exported from repro.dataflow.shuffle
+    "stable_hash",  # re-exported from repro.dataflow.hashing
     "pair_key",
     "pair_value",
     "record_cells",
+    "record_bytes",  # re-exported from repro.dataflow.shuffle
 ]
 
 
-# ----------------------------------------------------------------------
-# stable hashing (shuffle routing)
-# ----------------------------------------------------------------------
-
-_MASK64 = (1 << 64) - 1
-
-
-def _mix_int(value: int) -> int:
-    """splitmix64 finalizer — a cheap, well-mixed 64-bit int hash."""
-    value &= _MASK64
-    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
-    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
-    return value ^ (value >> 31)
-
-
-def stable_hash(key: Any) -> int:
-    """A 64-bit hash that is stable across processes and interpreter runs.
-
-    Covers the key types the discovery pipeline shuffles on: ints (term
-    ids, :class:`~repro.rdf.model.Attr`), strings/bytes (via BLAKE2b —
-    builtin ``hash`` is randomized for these), and (nested) tuples and
-    frozensets thereof (conditions, captures, and NamedTuples of both).
-    Unknown types fall back to builtin ``hash`` — acceptable only for
-    types whose hash is process-invariant.
-    """
-    if key is None:
-        return 0x9E3779B97F4A7C15
-    if isinstance(key, bool):
-        return _mix_int(2 if key else 1)
-    if isinstance(key, int):
-        return _mix_int(key)
-    if isinstance(key, str):
-        digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
-        return int.from_bytes(digest, "big")
-    if isinstance(key, bytes):
-        digest = hashlib.blake2b(key, digest_size=8).digest()
-        return int.from_bytes(digest, "big")
-    if isinstance(key, tuple):
-        accumulator = _mix_int(0x1000003 + len(key))
-        for element in key:
-            accumulator = _mix_int(accumulator ^ stable_hash(element))
-        return accumulator
-    if isinstance(key, frozenset):
-        accumulator = 0
-        for element in key:  # XOR: order-independent
-            accumulator ^= stable_hash(element)
-        return _mix_int(accumulator ^ len(key))
-    return hash(key) & _MASK64
-
-
-def _hash_partition(key: Any, parallelism: int) -> int:
-    return stable_hash(key) % parallelism
+#: Backward-compatible alias — the partitioner moved to
+#: :mod:`repro.dataflow.hashing` so the shuffle subsystem can share it.
+_hash_partition = hash_partition
 
 
 # ----------------------------------------------------------------------
@@ -444,6 +424,25 @@ class ExecutionEnvironment:
         instead of failing the job.  Off by default so configured budget
         failures — the paper's Figure 7/13 "failed" cells — still
         reproduce.
+    shuffle:
+        Data plane for the keyed operators: ``"inline"`` (in-memory
+        buckets, the reference) or ``"spill"`` (disk-backed sorted runs
+        merged reduce-side; see :mod:`repro.dataflow.shuffle`).  Spill
+        output is byte-identical to inline.
+    memory_budget_bytes:
+        Per-worker cap, in estimated bytes (:func:`record_bytes`), on the
+        in-memory shuffle state of spill-mode operators; overflowing
+        state is cut to a sorted run on disk instead of raising.  Only
+        meaningful with ``shuffle="spill"``; ``None`` means a single
+        final flush per task.
+    spill_dir:
+        Directory under which the spill workspace is created (a fresh
+        ``tempfile.mkdtemp`` per environment, removed on :meth:`close`).
+        Defaults to the system temp dir.
+    spill_config:
+        Full :class:`~repro.dataflow.shuffle.SpillConfig` override for
+        tests and benchmarks (frame sizing, merge fan-in); wins over
+        ``memory_budget_bytes`` when given.
     """
 
     def __init__(
@@ -456,12 +455,29 @@ class ExecutionEnvironment:
         fault_plan: Optional[FaultPlan] = None,
         retry_policy: Optional[RetryPolicy] = None,
         oom_recovery: bool = False,
+        shuffle: str = "inline",
+        memory_budget_bytes: Optional[int] = None,
+        spill_dir: Optional[str] = None,
+        spill_config: Optional[SpillConfig] = None,
     ) -> None:
         if parallelism < 1:
             raise ValueError("parallelism must be >= 1")
+        if shuffle not in SHUFFLE_MODES:
+            raise ValueError(
+                f"unknown shuffle mode {shuffle!r}; expected one of {SHUFFLE_MODES}"
+            )
         self.parallelism = int(parallelism)
         self.memory_budget = memory_budget
         self.oom_recovery = bool(oom_recovery)
+        self.shuffle = shuffle
+        self.spill_config = (
+            spill_config
+            if spill_config is not None
+            else SpillConfig(budget_bytes=memory_budget_bytes)
+        )
+        self._spill_dir_base = spill_dir
+        self._spill_root: Optional[str] = None
+        self._spill_stage_seq = 0
         self.executor = create_executor(
             executor,
             self.parallelism,
@@ -476,9 +492,32 @@ class ExecutionEnvironment:
             workers=self.executor.workers,
         )
 
+    def _new_spill_stage_dir(self) -> str:
+        """A fresh directory for one spill stage's run files.
+
+        The workspace root is created lazily (``tempfile.mkdtemp`` under
+        ``spill_dir``), so inline-mode jobs never touch the filesystem.
+        Stage directories are numbered rather than named — stage names
+        contain ``/``.
+        """
+        if self._spill_root is None:
+            base = self._spill_dir_base
+            if base is not None:
+                os.makedirs(base, exist_ok=True)
+            self._spill_root = tempfile.mkdtemp(prefix="rdfind-spill-", dir=base)
+        stage_dir = os.path.join(
+            self._spill_root, f"stage{self._spill_stage_seq:04d}"
+        )
+        self._spill_stage_seq += 1
+        os.makedirs(stage_dir)
+        return stage_dir
+
     def close(self) -> None:
-        """Release executor resources (the process pool, if any)."""
+        """Release executor resources and remove the spill workspace."""
         self.executor.close()
+        if self._spill_root is not None:
+            shutil.rmtree(self._spill_root, ignore_errors=True)
+            self._spill_root = None
 
     def __enter__(self) -> "ExecutionEnvironment":
         return self
@@ -734,6 +773,256 @@ class DataSet(Generic[T]):
             records=sum(len(b) for b in buckets),
         )
 
+    # ------------------------------------------------------------------
+    # spilling shuffle (disk-backed data plane; repro.dataflow.shuffle)
+    # ------------------------------------------------------------------
+
+    def _run_spill_map_stage(
+        self,
+        stage: StageMetrics,
+        task: Callable[[Any], Any],
+        payloads: List[Any],
+        records: int,
+        input_sizes: List[int],
+    ) -> List[List[RunInfo]]:
+        """Run map-side spill tasks; account manifests, return runs per
+        reduce partition in global ``(map partition, cut order)`` order."""
+        results = self._run_stage(stage, task, payloads, records=records)
+        shuffled = 0
+        per_task_runs: List[List[RunInfo]] = []
+        for size, (runs, emitted, spilled_bytes, peak_bytes, elapsed) in zip(
+            input_sizes, results
+        ):
+            shuffled += emitted
+            per_task_runs.append(runs)
+            stage.partition_seconds.append(elapsed)
+            stage.records_in.append(size)
+            stage.records_out.append(emitted)
+            stage.spilled_runs += len(runs)
+            stage.spilled_bytes += spilled_bytes
+            stage.peak_state_bytes = max(stage.peak_state_bytes, peak_bytes)
+        stage.shuffled_records = shuffled
+        return _shuffle.gather_runs(per_task_runs, self.env.parallelism)
+
+    def _run_spill_merge_stage(
+        self,
+        stage: StageMetrics,
+        task: Callable[[Any], Any],
+        make_payload: Callable[[int, List[RunInfo]], Any],
+        run_lists: List[List[RunInfo]],
+    ) -> List[List[Any]]:
+        """Run reduce-side merge tasks, one per partition's run set."""
+        records = sum(info.records for runs in run_lists for info in runs)
+        payloads = [
+            make_payload(index, runs) for index, runs in enumerate(run_lists)
+        ]
+        results = self._run_stage(stage, task, payloads, records=records)
+        out: List[List[Any]] = []
+        for runs, (result, passes, elapsed) in zip(run_lists, results):
+            stage.partition_seconds.append(elapsed)
+            stage.records_in.append(sum(info.records for info in runs))
+            stage.records_out.append(len(result))
+            stage.merge_passes += passes
+            out.append(result)
+        return out
+
+    def _spill_reduce_by_key(
+        self,
+        key_fn: Callable[[T], K],
+        value_fn: Callable[[T], V],
+        reduce_fn: Callable[[V, V], V],
+        combine: bool,
+        name: str,
+    ) -> "DataSet[Tuple[K, V]]":
+        env = self.env
+        stage = env.metrics.new_stage(name)
+        stage_dir = env._new_spill_stage_dir()
+        try:
+            payloads = [
+                (
+                    key_fn,
+                    value_fn,
+                    reduce_fn,
+                    combine,
+                    env.parallelism,
+                    env.spill_config,
+                    stage_dir,
+                    index,
+                    partition,
+                )
+                for index, partition in enumerate(self.partitions)
+            ]
+            run_lists = self._run_spill_map_stage(
+                stage,
+                _shuffle._spill_combine_map_task,
+                payloads,
+                self._total_records(),
+                [len(p) for p in self.partitions],
+            )
+            reduce_stage = env.metrics.new_stage(name + "/reduce")
+            out = self._run_spill_merge_stage(
+                reduce_stage,
+                _shuffle._spill_reduce_task,
+                lambda index, runs: (
+                    reduce_fn,
+                    runs,
+                    env.spill_config,
+                    stage_dir,
+                    index,
+                ),
+                run_lists,
+            )
+        finally:
+            shutil.rmtree(stage_dir, ignore_errors=True)
+        return DataSet(env, out, name=name)
+
+    def _spill_flat_map_reduce_by_key(
+        self,
+        flat_fn: Callable[[T], Iterable[Tuple[K, V]]],
+        reduce_fn: Callable[[V, V], V],
+        name: str,
+    ) -> "DataSet[Tuple[K, V]]":
+        env = self.env
+        stage = env.metrics.new_stage(name)
+        stage_dir = env._new_spill_stage_dir()
+        try:
+            payloads = [
+                (
+                    flat_fn,
+                    reduce_fn,
+                    env.parallelism,
+                    env.spill_config,
+                    stage_dir,
+                    index,
+                    partition,
+                )
+                for index, partition in enumerate(self.partitions)
+            ]
+            run_lists = self._run_spill_map_stage(
+                stage,
+                _shuffle._spill_fused_map_task,
+                payloads,
+                self._total_records(),
+                [len(p) for p in self.partitions],
+            )
+            reduce_stage = env.metrics.new_stage(name + "/reduce")
+            out = self._run_spill_merge_stage(
+                reduce_stage,
+                _shuffle._spill_reduce_task,
+                lambda index, runs: (
+                    reduce_fn,
+                    runs,
+                    env.spill_config,
+                    stage_dir,
+                    index,
+                ),
+                run_lists,
+            )
+        finally:
+            shutil.rmtree(stage_dir, ignore_errors=True)
+        return DataSet(env, out, name=name)
+
+    def _spill_group_by_key(
+        self, key_fn: Callable[[T], K], name: str
+    ) -> "DataSet[Tuple[K, List[T]]]":
+        env = self.env
+        stage = env.metrics.new_stage(name)
+        stage_dir = env._new_spill_stage_dir()
+        try:
+            payloads = [
+                (
+                    key_fn,
+                    None,
+                    env.parallelism,
+                    env.spill_config,
+                    stage_dir,
+                    index,
+                    partition,
+                )
+                for index, partition in enumerate(self.partitions)
+            ]
+            run_lists = self._run_spill_map_stage(
+                stage,
+                _shuffle._spill_keyed_map_task,
+                payloads,
+                self._total_records(),
+                [len(p) for p in self.partitions],
+            )
+            group_stage = env.metrics.new_stage(name + "/group")
+            out = self._run_spill_merge_stage(
+                group_stage,
+                _shuffle._spill_group_task,
+                lambda index, runs: (runs, env.spill_config, stage_dir, index),
+                run_lists,
+            )
+        finally:
+            shutil.rmtree(stage_dir, ignore_errors=True)
+        return DataSet(env, out, name=name)
+
+    def _spill_co_group(
+        self,
+        other: "DataSet[U]",
+        key_self: Callable[[T], K],
+        key_other: Callable[[U], K],
+        fn: Callable[[K, List[T], List[U]], Iterable[Any]],
+        name: str,
+    ) -> "DataSet[Any]":
+        env = self.env
+        parallelism = env.parallelism
+        stage = env.metrics.new_stage(name)
+        stage_dir = env._new_spill_stage_dir()
+        try:
+            # The right side's map indices are offset by the parallelism:
+            # unique run names, and every left run globally orders before
+            # every right run — the side order the inline co-group applies.
+            payloads = [
+                (
+                    key_self,
+                    0,
+                    parallelism,
+                    env.spill_config,
+                    stage_dir,
+                    index,
+                    partition,
+                )
+                for index, partition in enumerate(self.partitions)
+            ] + [
+                (
+                    key_other,
+                    1,
+                    parallelism,
+                    env.spill_config,
+                    stage_dir,
+                    parallelism + index,
+                    partition,
+                )
+                for index, partition in enumerate(other.partitions)
+            ]
+            run_lists = self._run_spill_map_stage(
+                stage,
+                _shuffle._spill_keyed_map_task,
+                payloads,
+                self._total_records() + other._total_records(),
+                [len(p) for p in self.partitions]
+                + [len(p) for p in other.partitions],
+            )
+            apply_stage = env.metrics.new_stage(name + "/apply")
+            out = self._run_spill_merge_stage(
+                apply_stage,
+                _shuffle._spill_co_group_task,
+                lambda index, runs: (
+                    fn,
+                    runs,
+                    env.spill_config,
+                    stage_dir,
+                    index,
+                ),
+                run_lists,
+            )
+        finally:
+            shutil.rmtree(stage_dir, ignore_errors=True)
+        return DataSet(env, out, name=name)
+
     def reduce_by_key(
         self,
         key_fn: Callable[[T], K],
@@ -748,8 +1037,18 @@ class DataSet(Generic[T]):
         early-aggregation optimisation) each worker pre-aggregates its
         partition before the shuffle, which shrinks shuffle volume for
         low-cardinality keys.
+
+        Under ``shuffle="spill"`` the same reduction runs on the
+        disk-backed data plane: the combiner spills sorted runs whenever
+        the byte budget overflows and the reduce side merges them —
+        byte-identical output in bounded memory, so the record-count
+        ``memory_budget`` simulation does not apply.
         """
         env = self.env
+        if env.shuffle == "spill":
+            return self._spill_reduce_by_key(
+                key_fn, value_fn, reduce_fn, combine, name
+            )
         parallelism = env.parallelism
         stage = env.metrics.new_stage(name)
         payloads = [
@@ -809,8 +1108,15 @@ class DataSet(Generic[T]):
         referenced-capture set); when given, the per-worker memory budget
         is enforced against the *total state cost*, which models a real
         combiner running out of memory (the paper's RDFind-DE failures).
+
+        Under ``shuffle="spill"`` the fused combiner spills its state to
+        sorted runs instead of raising: the byte-accurate spill budget
+        replaces ``state_cost_fn`` pricing, and the output stays
+        byte-identical.
         """
         env = self.env
+        if env.shuffle == "spill":
+            return self._spill_flat_map_reduce_by_key(flat_fn, reduce_fn, name)
         parallelism = env.parallelism
         stage = env.metrics.new_stage(name)
         payloads = [
@@ -859,6 +1165,8 @@ class DataSet(Generic[T]):
     ) -> "DataSet[Tuple[K, List[T]]]":
         """Hash-partitioned grouping into ``(key, [records])`` pairs."""
         env = self.env
+        if env.shuffle == "spill":
+            return self._spill_group_by_key(key_fn, name)
         parallelism = env.parallelism
         stage = env.metrics.new_stage(name)
         payloads = [
@@ -902,6 +1210,8 @@ class DataSet(Generic[T]):
         each side, enabling inner, outer, and semi joins.
         """
         env = self.env
+        if env.shuffle == "spill":
+            return self._spill_co_group(other, key_self, key_other, fn, name)
         parallelism = env.parallelism
         stage = env.metrics.new_stage(name)
         left_payloads = [

@@ -1,0 +1,71 @@
+"""Process-stable hashing for shuffle routing and spill-run sort keys.
+
+Shuffles are routed by :func:`stable_hash`, a deterministic 64-bit hash
+over the key types the pipeline uses.  Builtin ``hash`` would not do: it
+is randomized per process for strings (``PYTHONHASHSEED``), which would
+make partition assignment differ between pool workers and between runs.
+
+The same hash doubles as the *sort key* of the spilling shuffle's run
+files (:mod:`repro.dataflow.shuffle`): sorted runs from any process merge
+into the same global order, which is what makes spilled execution
+deterministic and byte-identical to the in-memory path.
+
+This lives in its own module (rather than in :mod:`repro.dataflow.engine`,
+which re-exports it) so the shuffle subsystem can import it without a
+circular dependency on the engine.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+_MASK64 = (1 << 64) - 1
+
+
+def _mix_int(value: int) -> int:
+    """splitmix64 finalizer — a cheap, well-mixed 64-bit int hash."""
+    value &= _MASK64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return value ^ (value >> 31)
+
+
+def stable_hash(key: Any) -> int:
+    """A 64-bit hash that is stable across processes and interpreter runs.
+
+    Covers the key types the discovery pipeline shuffles on: ints (term
+    ids, :class:`~repro.rdf.model.Attr`), strings/bytes (via BLAKE2b —
+    builtin ``hash`` is randomized for these), and (nested) tuples and
+    frozensets thereof (conditions, captures, and NamedTuples of both).
+    Unknown types fall back to builtin ``hash`` — acceptable only for
+    types whose hash is process-invariant.
+    """
+    if key is None:
+        return 0x9E3779B97F4A7C15
+    if isinstance(key, bool):
+        return _mix_int(2 if key else 1)
+    if isinstance(key, int):
+        return _mix_int(key)
+    if isinstance(key, str):
+        digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+        return int.from_bytes(digest, "big")
+    if isinstance(key, bytes):
+        digest = hashlib.blake2b(key, digest_size=8).digest()
+        return int.from_bytes(digest, "big")
+    if isinstance(key, tuple):
+        accumulator = _mix_int(0x1000003 + len(key))
+        for element in key:
+            accumulator = _mix_int(accumulator ^ stable_hash(element))
+        return accumulator
+    if isinstance(key, frozenset):
+        accumulator = 0
+        for element in key:  # XOR: order-independent
+            accumulator ^= stable_hash(element)
+        return _mix_int(accumulator ^ len(key))
+    return hash(key) & _MASK64
+
+
+def hash_partition(key: Any, parallelism: int) -> int:
+    """The reduce partition ``key`` is routed to."""
+    return stable_hash(key) % parallelism

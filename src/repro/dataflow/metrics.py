@@ -46,6 +46,16 @@ class StageMetrics:
     #: Times the engine recovered this stage from a SimulatedOutOfMemory
     #: by splitting partitions / spilling the combiner (--oom-recovery).
     recovered_oom_splits: int = 0
+    #: Sorted runs this stage's workers cut to disk (--shuffle spill).
+    spilled_runs: int = 0
+    #: Bytes written to spill-run files by this stage's workers.
+    spilled_bytes: int = 0
+    #: Intermediate merge passes the reduce side needed when a partition
+    #: held more runs than the merge fan-in (0 = single-pass merge).
+    merge_passes: int = 0
+    #: Largest estimated in-memory state, in bytes, any spill-mode worker
+    #: held before cutting a run (bounded by the byte budget).
+    peak_state_bytes: int = 0
 
     @property
     def parallel_seconds(self) -> float:
@@ -91,6 +101,12 @@ class StageMetrics:
             line += (
                 f" faults={self.faults_injected} retries={self.retries} "
                 f"oom-splits={self.recovered_oom_splits}"
+            )
+        if self.spilled_runs or self.merge_passes:
+            line += (
+                f" spills={self.spilled_runs} "
+                f"spill-bytes={self.spilled_bytes} "
+                f"merge-passes={self.merge_passes}"
             )
         return line
 
@@ -154,6 +170,26 @@ class JobMetrics:
         return sum(stage.recovered_oom_splits for stage in self.stages)
 
     @property
+    def total_spilled_runs(self) -> int:
+        """Sorted runs cut to disk across all stages (--shuffle spill)."""
+        return sum(stage.spilled_runs for stage in self.stages)
+
+    @property
+    def total_spilled_bytes(self) -> int:
+        """Bytes written to spill-run files across all stages."""
+        return sum(stage.spilled_bytes for stage in self.stages)
+
+    @property
+    def total_merge_passes(self) -> int:
+        """Intermediate merge passes across all reduce-side stages."""
+        return sum(stage.merge_passes for stage in self.stages)
+
+    @property
+    def max_peak_state_bytes(self) -> int:
+        """Largest estimated spill-mode worker state over all stages."""
+        return max((stage.peak_state_bytes for stage in self.stages), default=0)
+
+    @property
     def max_skew(self) -> float:
         """Worst max/mean partition-time ratio over all stages."""
         return max((stage.skew for stage in self.stages), default=1.0)
@@ -180,6 +216,10 @@ class JobMetrics:
                 retries=stage.retries,
                 faults_injected=stage.faults_injected,
                 recovered_oom_splits=stage.recovered_oom_splits,
+                spilled_runs=stage.spilled_runs,
+                spilled_bytes=stage.spilled_bytes,
+                merge_passes=stage.merge_passes,
+                peak_state_bytes=stage.peak_state_bytes,
             )
             self.stages.append(absorbed)
 
@@ -205,6 +245,10 @@ class JobMetrics:
             "retries": self.total_retries,
             "faults_injected": self.total_faults_injected,
             "recovered_oom_splits": self.total_recovered_oom_splits,
+            "spilled_runs": self.total_spilled_runs,
+            "spilled_bytes": self.total_spilled_bytes,
+            "merge_passes": self.total_merge_passes,
+            "peak_state_bytes": self.max_peak_state_bytes,
         }
 
     def describe(self) -> str:
@@ -229,6 +273,12 @@ class JobMetrics:
                 f" faults={self.total_faults_injected} "
                 f"retries={self.total_retries} "
                 f"oom-splits={self.total_recovered_oom_splits}"
+            )
+        if self.total_spilled_runs or self.total_merge_passes:
+            total += (
+                f" spills={self.total_spilled_runs} "
+                f"spill-bytes={self.total_spilled_bytes} "
+                f"merge-passes={self.total_merge_passes}"
             )
         lines.append(total)
         return "\n".join(lines)

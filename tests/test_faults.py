@@ -407,11 +407,20 @@ class TestOomRecovery:
 
     @pytest.mark.parametrize("executor", EXECUTOR_NAMES)
     def test_budget_fails_without_flag_completes_with_it(self, executor):
+        # The record-count budget simulation is inline-shuffle semantics:
+        # under --shuffle spill the keyed operators spill instead of
+        # raising, so pin inline regardless of the ambient RDFIND_SHUFFLE.
         dataset = random_rdf(3, n_triples=200)
         with pytest.raises(SimulatedOutOfMemory):
-            _discover(dataset, executor, memory_budget=self.BUDGET)
+            _discover(
+                dataset, executor, memory_budget=self.BUDGET, shuffle="inline"
+            )
         recovered = _discover(
-            dataset, executor, memory_budget=self.BUDGET, oom_recovery=True
+            dataset,
+            executor,
+            memory_budget=self.BUDGET,
+            oom_recovery=True,
+            shuffle="inline",
         )
         unconstrained = _discover(dataset, executor)
         assert recovered.cinds == unconstrained.cinds

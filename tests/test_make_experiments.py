@@ -66,6 +66,6 @@ class TestRendering:
             "Table 2", "Figure 2", "Figure 4", "Figure 7", "Figure 8",
             "Figure 9", "Figure 10", "Figure 11", "Figure 12", "Figure 13",
             "Figure 14", "Section 8.6", "Storage encoding",
-            "Parallel scaling", "Fault recovery",
+            "Parallel scaling", "Fault recovery", "Spilling shuffle",
         }
         assert set(VERDICTS) == expected

@@ -1,0 +1,565 @@
+"""The spilling shuffle: frames, runs, byte budgets, and equivalence.
+
+The disk-backed data plane must be a pure memory substitution: spill-mode
+output byte-identical to the inline shuffle on both executor backends,
+runs protected by CRC framing (corruption and truncation are loud, never
+silent), the byte-pricing function honest against ``sys.getsizeof``, and
+no spill files left behind — on success or across fault-injected retries.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import sys
+
+import pytest
+
+from repro.core.discovery import RDFind, RDFindConfig
+from repro.core.framing import (
+    FrameCorruptionError,
+    FrameError,
+    FrameTruncatedError,
+    iter_frames,
+    pack_frame,
+    read_frame,
+    write_frame,
+)
+from repro.dataflow.engine import ExecutionEnvironment, record_bytes
+from repro.dataflow.faults import TRANSIENT, FaultPlan
+from repro.dataflow.shuffle import (
+    SHUFFLE_MODES,
+    MemoryBudget,
+    RunInfo,
+    SpillConfig,
+    read_run,
+    write_run,
+)
+from tests.conftest import ar_set, cind_set, random_rdf
+
+
+# ----------------------------------------------------------------------
+# binary frames (satellite: CRC corruption + truncation error paths)
+# ----------------------------------------------------------------------
+
+
+class TestFrames:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "frames.bin"
+        payloads = [b"", b"x", b"hello" * 100, bytes(range(256))]
+        with open(path, "wb") as stream:
+            written = sum(write_frame(stream, p) for p in payloads)
+        assert written == os.path.getsize(path)
+        with open(path, "rb") as stream:
+            assert list(iter_frames(stream)) == payloads
+
+    def test_read_frame_none_at_clean_eof(self, tmp_path):
+        path = tmp_path / "empty.bin"
+        path.write_bytes(b"")
+        with open(path, "rb") as stream:
+            assert read_frame(stream) is None
+
+    def test_corrupted_payload_fails_crc(self, tmp_path):
+        frame = bytearray(pack_frame(b"payload-bytes"))
+        frame[-1] ^= 0xFF  # flip a payload bit, header stays intact
+        path = tmp_path / "corrupt.bin"
+        path.write_bytes(bytes(frame))
+        with open(path, "rb") as stream:
+            with pytest.raises(FrameCorruptionError):
+                read_frame(stream)
+
+    def test_absurd_length_is_corruption_not_allocation(self, tmp_path):
+        # A flipped high bit in the length field must not make the reader
+        # try to allocate gigabytes before the CRC check.
+        path = tmp_path / "absurd.bin"
+        path.write_bytes(b"\xff\xff\xff\xff\x00\x00\x00\x00")
+        with open(path, "rb") as stream:
+            with pytest.raises(FrameCorruptionError):
+                read_frame(stream)
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "short-header.bin"
+        path.write_bytes(pack_frame(b"data")[:3])
+        with open(path, "rb") as stream:
+            with pytest.raises(FrameTruncatedError):
+                read_frame(stream)
+
+    def test_truncated_payload(self, tmp_path):
+        path = tmp_path / "short-payload.bin"
+        path.write_bytes(pack_frame(b"data-that-gets-cut")[:-5])
+        with open(path, "rb") as stream:
+            with pytest.raises(FrameTruncatedError):
+                read_frame(stream)
+
+
+# ----------------------------------------------------------------------
+# byte-accurate record pricing (satellite: getsizeof calibration)
+# ----------------------------------------------------------------------
+
+
+def _deep_sizeof(record) -> int:
+    """Reference deep size: getsizeof recursively over containers."""
+    size = sys.getsizeof(record)
+    if isinstance(record, (tuple, list, set, frozenset)):
+        size += sum(_deep_sizeof(field) for field in record)
+    elif isinstance(record, dict):
+        size += sum(
+            _deep_sizeof(k) + _deep_sizeof(v) for k, v in record.items()
+        )
+    return size
+
+
+class TestRecordBytes:
+    # The record shapes the encoded-storage pipeline actually shuffles:
+    # EncodedTriple-style id tuples, (key, value) pairs, capture-ish
+    # nested tuples, frozensets of small ints, and aggregation sets.
+    SHAPES = [
+        7,
+        123456789,
+        (1, 2, 3),
+        ((4, 11), 982),
+        ("ex:WHO", "rdf:type", "ex:Agency"),
+        (1, (2, 3), frozenset({4, 5, 6})),
+        frozenset(range(20)),
+        {(i, i + 1) for i in range(15)},
+        [(-i, i * 3) for i in range(25)],
+        ((1, 2), ({3, 4, 5}, 6, True)),
+    ]
+
+    @pytest.mark.parametrize("record", SHAPES, ids=[repr(s)[:40] for s in SHAPES])
+    def test_honest_within_2x(self, record):
+        estimate = record_bytes(record)
+        true = _deep_sizeof(record)
+        assert 0.5 <= estimate / true <= 2.0, (
+            f"record_bytes({record!r}) = {estimate}, deep getsizeof = {true}"
+        )
+
+    def test_container_pricing_is_length_linear(self):
+        # Re-pricing a growing aggregation set must be O(1)-per-call and
+        # grow with the element count, not stay flat.
+        small = record_bytes(frozenset(range(10)))
+        large = record_bytes(frozenset(range(1000)))
+        assert large > small * 10
+
+
+class TestMemoryBudget:
+    def test_charge_release_peak(self):
+        budget = MemoryBudget(100)
+        budget.charge(80)
+        assert not budget.exceeded
+        budget.charge(40)
+        assert budget.exceeded
+        assert budget.peak_bytes == 120
+        budget.release(60)
+        assert budget.used_bytes == 60
+        assert budget.peak_bytes == 120
+        budget.reset()
+        assert budget.used_bytes == 0
+        assert budget.peak_bytes == 120
+
+    def test_unlimited_never_exceeds(self):
+        budget = MemoryBudget(None)
+        budget.charge(10**12)
+        assert not budget.exceeded
+
+    def test_rejects_nonpositive_limit(self):
+        with pytest.raises(ValueError):
+            MemoryBudget(0)
+
+    def test_spill_config_validation(self):
+        with pytest.raises(ValueError):
+            SpillConfig(budget_bytes=0)
+        with pytest.raises(ValueError):
+            SpillConfig(frame_records=0)
+        with pytest.raises(ValueError):
+            SpillConfig(merge_fanin=1)
+
+
+# ----------------------------------------------------------------------
+# run files (satellite: round-trips, empty runs, error paths)
+# ----------------------------------------------------------------------
+
+
+def _records(n, partition=0):
+    return [((i * 131) % 997, (partition, i), i % 13, ("payload", i)) for i in range(n)]
+
+
+class TestRunFiles:
+    def test_round_trip(self, tmp_path):
+        records = _records(1000)
+        info = write_run(str(tmp_path / "a.run"), 3, records, frame_records=64)
+        assert info == RunInfo(str(tmp_path / "a.run"), 3, 1000, info.bytes)
+        assert info.bytes == os.path.getsize(info.path)
+        assert list(read_run(info.path)) == records
+
+    def test_empty_run_is_header_only(self, tmp_path):
+        info = write_run(str(tmp_path / "empty.run"), 0, [])
+        assert info.records == 0
+        assert list(read_run(info.path)) == []
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        write_run(str(tmp_path / "a.run"), 0, _records(10))
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["a.run"]
+
+    def test_rewrite_is_idempotent(self, tmp_path):
+        # A retried task overwrites its own run cleanly (tmp + rename).
+        path = str(tmp_path / "a.run")
+        write_run(path, 0, _records(10))
+        write_run(path, 0, _records(10))
+        assert list(read_run(path)) == _records(10)
+
+    def test_not_a_run_file(self, tmp_path):
+        path = tmp_path / "json.run"
+        with open(path, "wb") as stream:
+            write_frame(stream, pickle.dumps({"magic": "something-else"}))
+        with pytest.raises(FrameError):
+            list(read_run(str(path)))
+
+    def test_unsupported_version(self, tmp_path):
+        path = tmp_path / "future.run"
+        with open(path, "wb") as stream:
+            write_frame(
+                stream,
+                pickle.dumps({"magic": "rdfind-spill", "version": 999}),
+            )
+        with pytest.raises(FrameError, match="version"):
+            list(read_run(str(path)))
+
+    def test_empty_file_is_truncated(self, tmp_path):
+        path = tmp_path / "zero.run"
+        path.write_bytes(b"")
+        with pytest.raises(FrameTruncatedError):
+            list(read_run(str(path)))
+
+    def test_mid_frame_truncation_detected(self, tmp_path):
+        info = write_run(str(tmp_path / "a.run"), 0, _records(500), frame_records=50)
+        data = open(info.path, "rb").read()
+        open(info.path, "wb").write(data[: len(data) - 37])
+        with pytest.raises(FrameTruncatedError):
+            list(read_run(info.path))
+
+    def test_lost_trailing_frames_detected_by_count(self, tmp_path):
+        # Cut the file at an exact frame boundary: every remaining frame
+        # passes its CRC, so only the header record count catches it.
+        info = write_run(str(tmp_path / "a.run"), 0, _records(500), frame_records=50)
+        with open(info.path, "rb") as stream:
+            frames = list(iter_frames(stream))
+        with open(info.path, "wb") as stream:
+            for payload in frames[:-2]:
+                write_frame(stream, payload)
+        with pytest.raises(FrameTruncatedError, match="declares"):
+            list(read_run(info.path))
+
+    def test_bit_rot_detected_by_crc(self, tmp_path):
+        info = write_run(str(tmp_path / "a.run"), 0, _records(200), frame_records=50)
+        data = bytearray(open(info.path, "rb").read())
+        data[len(data) // 2] ^= 0x10
+        open(info.path, "wb").write(bytes(data))
+        with pytest.raises((FrameCorruptionError, FrameTruncatedError)):
+            list(read_run(info.path))
+
+
+# ----------------------------------------------------------------------
+# engine equivalence: spill == inline, on both backends
+# ----------------------------------------------------------------------
+
+
+def _add(a, b):
+    return a + b
+
+
+def _mod7(x):
+    return x % 7
+
+
+def _identity(x):
+    return x
+
+
+def _expand_pairs(x):
+    return [((x % 11, x % 3), 1), ((x % 5, 1), x)]
+
+
+def _count_join(key, left, right):
+    return [(key, len(left), len(right), sum(left) + sum(right))]
+
+
+def _skewed_records(n=4000):
+    # One dominant key (~half the records) plus a long tail — the bucket
+    # shape that makes bounded-memory grouping interesting.
+    return [(i * 17) % 101 if i % 2 else 0 for i in range(n)]
+
+
+def _run_keyed_pipeline(shuffle, executor="serial", **env_kwargs):
+    data = _skewed_records()
+    with ExecutionEnvironment(
+        parallelism=4, executor=executor, shuffle=shuffle, **env_kwargs
+    ) as env:
+        ds = env.from_collection(data, name="src")
+        reduced = ds.reduce_by_key(_mod7, _identity, _add).partitions
+        streamed = ds.reduce_by_key(
+            _mod7, _identity, _add, combine=False
+        ).partitions
+        fused = ds.flat_map_reduce_by_key(_expand_pairs, _add).partitions
+        grouped = ds.group_by_key(_mod7).partitions
+        other = env.from_collection(data[::3], name="src2")
+        joined = ds.co_group(other, _mod7, _mod7, _count_join).partitions
+        summary = env.metrics.summary()
+    return (reduced, streamed, fused, grouped, joined), summary
+
+
+class TestSpillEquivalence:
+    def test_spill_matches_inline_serial(self):
+        inline, _ = _run_keyed_pipeline("inline")
+        spill, summary = _run_keyed_pipeline("spill", memory_budget_bytes=4096)
+        assert spill == inline
+        assert summary["spilled_runs"] > 0
+        assert summary["spilled_bytes"] > 0
+
+    def test_spill_matches_inline_process(self):
+        inline, _ = _run_keyed_pipeline("inline")
+        spill, _ = _run_keyed_pipeline(
+            "spill",
+            executor="process",
+            workers=2,
+            memory_budget_bytes=4096,
+        )
+        assert spill == inline
+
+    def test_cross_backend_merged_order_deterministic(self):
+        # Same spill config on both backends: identical partitions AND
+        # identical group order within every partition (list equality).
+        serial, serial_summary = _run_keyed_pipeline(
+            "spill", memory_budget_bytes=2048
+        )
+        process, process_summary = _run_keyed_pipeline(
+            "spill", executor="process", workers=2, memory_budget_bytes=2048
+        )
+        assert serial == process
+        assert serial_summary["spilled_runs"] == process_summary["spilled_runs"]
+        assert serial_summary["spilled_bytes"] == process_summary["spilled_bytes"]
+
+    def test_unbudgeted_spill_still_matches(self):
+        # No byte budget: one final flush per task, everything through disk.
+        inline, _ = _run_keyed_pipeline("inline")
+        spill, summary = _run_keyed_pipeline("spill")
+        assert spill == inline
+        assert summary["spilled_runs"] > 0
+
+    def test_multi_pass_merge_matches(self):
+        inline, _ = _run_keyed_pipeline("inline")
+        spill, summary = _run_keyed_pipeline(
+            "spill",
+            spill_config=SpillConfig(
+                budget_bytes=512, merge_fanin=2, frame_records=16
+            ),
+        )
+        assert spill == inline
+        assert summary["merge_passes"] > 0
+
+    def test_rejects_unknown_mode(self):
+        assert SHUFFLE_MODES == ("inline", "spill")
+        with pytest.raises(ValueError, match="shuffle"):
+            ExecutionEnvironment(shuffle="mmap")
+
+
+class TestBoundedMemory:
+    def test_oversized_bucket_completes_within_budget(self):
+        # Acceptance: a reduce_by_key whose single dominant bucket is
+        # >= 10x the byte budget completes by spilling — runs on disk,
+        # peak in-memory state bounded, no SimulatedOutOfMemory even
+        # though the record-count budget would have fired inline.
+        data = [0] * 20000  # one bucket, all records
+        budget_bytes = 8192
+        with ExecutionEnvironment(
+            parallelism=2,
+            shuffle="spill",
+            memory_budget_bytes=budget_bytes,
+            memory_budget=100,  # record-count simulation: ignored by spill
+        ) as env:
+            pairs = env.from_collection(data).reduce_by_key(
+                _identity, _identity, _add, combine=False
+            )
+            [result] = pairs.collect(name="result")
+            summary = env.metrics.summary()
+        assert result == (0, 0)
+        bucket_bytes = summary["spilled_bytes"]
+        assert bucket_bytes >= 10 * budget_bytes
+        assert summary["spilled_runs"] > 0
+        # One record of slack: the budget check runs after the charge.
+        assert summary["peak_state_bytes"] <= 2 * budget_bytes
+
+    def test_inline_same_bucket_would_oom_but_spill_completes(self):
+        # The counterpart: grouping the same oversized bucket inline under
+        # a record-count budget raises; the spill path just spills.
+        from repro.dataflow.faults import SimulatedOutOfMemory
+
+        data = [0] * 20000
+        with ExecutionEnvironment(parallelism=2, memory_budget=100) as env:
+            with pytest.raises(SimulatedOutOfMemory):
+                env.from_collection(data).group_by_key(_identity)
+        with ExecutionEnvironment(
+            parallelism=2,
+            memory_budget=100,
+            shuffle="spill",
+            memory_budget_bytes=8192,
+        ) as env:
+            groups = env.from_collection(data).group_by_key(_identity)
+            [(key, members)] = groups.collect(name="groups")
+        assert key == 0 and len(members) == 20000
+
+
+# ----------------------------------------------------------------------
+# spill-dir hygiene (satellite: no leaked runs, even across retries)
+# ----------------------------------------------------------------------
+
+
+class TestSpillHygiene:
+    def test_workspace_removed_on_close(self, tmp_path):
+        spill_dir = str(tmp_path / "spills")
+        env = ExecutionEnvironment(
+            parallelism=2, shuffle="spill", spill_dir=spill_dir
+        )
+        env.from_collection(range(100)).reduce_by_key(
+            _mod7, _identity, _add
+        )
+        workspaces = os.listdir(spill_dir)
+        assert len(workspaces) == 1  # mkdtemp workspace exists while open
+        assert workspaces[0].startswith("rdfind-spill-")
+        env.close()
+        assert os.listdir(spill_dir) == []
+
+    def test_stage_dirs_removed_between_operators(self, tmp_path):
+        spill_dir = str(tmp_path / "spills")
+        with ExecutionEnvironment(
+            parallelism=2, shuffle="spill", spill_dir=spill_dir
+        ) as env:
+            ds = env.from_collection(range(500))
+            ds.reduce_by_key(_mod7, _identity, _add)
+            ds.group_by_key(_mod7)
+            (workspace,) = os.listdir(spill_dir)
+            # Runs are per-stage scratch: nothing survives the operator.
+            assert os.listdir(os.path.join(spill_dir, workspace)) == []
+
+    def test_inline_mode_never_touches_disk(self, tmp_path):
+        spill_dir = str(tmp_path / "spills")
+        with ExecutionEnvironment(
+            parallelism=2, shuffle="inline", spill_dir=spill_dir
+        ) as env:
+            env.from_collection(range(100)).reduce_by_key(
+                _mod7, _identity, _add
+            )
+        assert not os.path.exists(spill_dir)
+
+    def test_no_leaks_across_fault_injected_retries(self, tmp_path):
+        # Transient faults + worker crashes force task re-execution; the
+        # rewritten runs must replace (not duplicate) the originals and
+        # the workspace must still come out clean.
+        spill_dir = str(tmp_path / "spills")
+        plan = FaultPlan(
+            seed=11,
+            transient_rate=0.2,
+            crash_rate=0.0,
+            forced=(("reduce_by_key", 0, TRANSIENT), ("group", 1, TRANSIENT)),
+        )
+        clean, _ = _run_keyed_pipeline("spill", memory_budget_bytes=2048)
+        faulty, summary = _run_keyed_pipeline(
+            "spill",
+            memory_budget_bytes=2048,
+            fault_plan=plan,
+            spill_dir=spill_dir,
+        )
+        assert faulty == clean
+        assert summary["faults_injected"] > 0
+        assert summary["retries"] > 0
+        assert os.listdir(spill_dir) == []
+
+
+# ----------------------------------------------------------------------
+# discovery equivalence + config plumbing
+# ----------------------------------------------------------------------
+
+
+def _discover(dataset, **overrides):
+    overrides.setdefault("support_threshold", 2)
+    overrides.setdefault("parallelism", 4)
+    return RDFind(RDFindConfig(**overrides)).discover(dataset)
+
+
+class TestDiscoveryEquivalence:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return random_rdf(13, n_triples=250, n_subjects=14, n_objects=14)
+
+    @pytest.fixture(scope="class")
+    def inline_result(self, dataset):
+        return _discover(dataset)
+
+    @pytest.mark.parametrize("executor", ["serial", "process"])
+    def test_spill_discovery_identical(self, dataset, inline_result, executor):
+        spill = _discover(
+            dataset,
+            shuffle="spill",
+            memory_budget_bytes=4096,
+            executor=executor,
+            workers=2 if executor == "process" else None,
+        )
+        assert spill.cinds == inline_result.cinds
+        assert spill.association_rules == inline_result.association_rules
+        assert cind_set(spill) == cind_set(inline_result)
+        assert ar_set(spill) == ar_set(inline_result)
+        assert spill.metrics.total_spilled_runs > 0
+
+    def test_spill_across_support_thresholds(self, dataset):
+        # The Figure 8/12 axis: output equivalence must hold at every h.
+        for h in (2, 4, 8):
+            inline = _discover(dataset, support_threshold=h)
+            spill = _discover(
+                dataset, support_threshold=h, shuffle="spill",
+                memory_budget_bytes=2048,
+            )
+            assert spill.cinds == inline.cinds
+            assert spill.association_rules == inline.association_rules
+
+    def test_spill_variants(self, dataset):
+        # DE skips the pruning phases — different operator mix, same rule.
+        inline = RDFind(
+            RDFindConfig.direct_extraction(support_threshold=2, parallelism=4)
+        ).discover(dataset)
+        spill = RDFind(
+            RDFindConfig.direct_extraction(
+                support_threshold=2,
+                parallelism=4,
+                shuffle="spill",
+                memory_budget_bytes=2048,
+            )
+        ).discover(dataset)
+        assert spill.cinds == inline.cinds
+
+
+class TestConfigPlumbing:
+    def test_rejects_unknown_shuffle(self):
+        with pytest.raises(ValueError, match="shuffle"):
+            RDFindConfig(shuffle="tape")
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ValueError, match="memory_budget_bytes"):
+            RDFindConfig(memory_budget_bytes=0)
+
+    def test_env_defaults(self, monkeypatch):
+        monkeypatch.setenv("RDFIND_SHUFFLE", "spill")
+        monkeypatch.setenv("RDFIND_MEMORY_BUDGET_BYTES", "65536")
+        monkeypatch.setenv("RDFIND_SPILL_DIR", "/tmp/spill-here")
+        config = RDFindConfig()
+        assert config.shuffle == "spill"
+        assert config.memory_budget_bytes == 65536
+        assert config.spill_dir == "/tmp/spill-here"
+
+    def test_env_defaults_absent(self, monkeypatch):
+        monkeypatch.delenv("RDFIND_SHUFFLE", raising=False)
+        monkeypatch.delenv("RDFIND_MEMORY_BUDGET_BYTES", raising=False)
+        monkeypatch.delenv("RDFIND_SPILL_DIR", raising=False)
+        config = RDFindConfig()
+        assert config.shuffle == "inline"
+        assert config.memory_budget_bytes is None
+        assert config.spill_dir is None
