@@ -137,6 +137,35 @@ def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
         help="directory for spill workspaces (default: system temp dir); "
         "each run gets a fresh subdirectory, removed when the run ends",
     )
+    parser.add_argument(
+        "--checkpoint", choices=("off", "phase", "stage"), default=None,
+        help="durable checkpointing granularity: 'phase' persists each "
+        "pipeline phase at its boundary, 'stage' also persists sub-stage "
+        "boundaries inside the phases (default: off)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="where the job manifest and checkpoint step files live "
+        "(required with --checkpoint; checkpoints survive the run)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true", default=False,
+        help="continue a killed job from its last durable checkpoint "
+        "boundary (validates the manifest against this run's config; "
+        "output is byte-identical to an uninterrupted run)",
+    )
+    parser.add_argument(
+        "--crash-point", action="append", default=None,
+        metavar="MOMENT:STEP",
+        help="inject a driver crash at a checkpoint boundary, e.g. "
+        "'after:fc' (fires once; the attempt count is persisted so a "
+        "--resume relaunch passes); repeatable",
+    )
+    parser.add_argument(
+        "--task-timeout-seconds", type=float, default=None, metavar="SECONDS",
+        help="per-task wall-clock bound under --executor process; a hung "
+        "task becomes a retryable transient fault (default: no bound)",
+    )
 
 
 def _apply_executor_flags(args: argparse.Namespace) -> None:
@@ -144,9 +173,11 @@ def _apply_executor_flags(args: argparse.Namespace) -> None:
 
     ``RDFindConfig`` reads RDFIND_EXECUTOR / RDFIND_WORKERS /
     RDFIND_FAULTS / RDFIND_MAX_RETRIES / RDFIND_OOM_RECOVERY /
-    RDFIND_SHUFFLE / RDFIND_MEMORY_BUDGET_BYTES / RDFIND_SPILL_DIR as its
-    defaults, so setting the environment here makes the choice reach every
-    config the subcommands build internally (funnel, profile, rank, ...).
+    RDFIND_SHUFFLE / RDFIND_MEMORY_BUDGET_BYTES / RDFIND_SPILL_DIR /
+    RDFIND_CHECKPOINT / RDFIND_CHECKPOINT_DIR / RDFIND_RESUME /
+    RDFIND_CRASH_POINT / RDFIND_TASK_TIMEOUT_SECONDS as its defaults, so
+    setting the environment here makes the choice reach every config the
+    subcommands build internally (funnel, profile, rank, ...).
     """
     if getattr(args, "executor", None):
         os.environ["RDFIND_EXECUTOR"] = args.executor
@@ -163,7 +194,38 @@ def _apply_executor_flags(args: argparse.Namespace) -> None:
     if getattr(args, "memory_budget_bytes", None) is not None:
         os.environ["RDFIND_MEMORY_BUDGET_BYTES"] = str(args.memory_budget_bytes)
     if getattr(args, "spill_dir", None):
+        _require_writable_dir(args.spill_dir, flag="--spill-dir")
         os.environ["RDFIND_SPILL_DIR"] = args.spill_dir
+    if getattr(args, "checkpoint", None):
+        os.environ["RDFIND_CHECKPOINT"] = args.checkpoint
+    if getattr(args, "checkpoint_dir", None):
+        _require_writable_dir(args.checkpoint_dir, flag="--checkpoint-dir")
+        os.environ["RDFIND_CHECKPOINT_DIR"] = args.checkpoint_dir
+    if getattr(args, "resume", False):
+        os.environ["RDFIND_RESUME"] = "1"
+    if getattr(args, "crash_point", None):
+        os.environ["RDFIND_CRASH_POINT"] = ",".join(args.crash_point)
+    if getattr(args, "task_timeout_seconds", None) is not None:
+        os.environ["RDFIND_TASK_TIMEOUT_SECONDS"] = str(
+            args.task_timeout_seconds
+        )
+
+
+def _require_writable_dir(path: str, *, flag: str) -> None:
+    """Fail fast, before any work happens, on an unusable workspace dir.
+
+    Creates the directory when missing and probes writability with a real
+    file: discovering at the first spill or checkpoint — possibly hours into
+    a job — that the directory is a file or read-only wastes the whole run.
+    """
+    try:
+        os.makedirs(path, exist_ok=True)
+        probe = os.path.join(path, f".rdfind-probe-{os.getpid()}.tmp")
+        with open(probe, "wb") as handle:
+            handle.write(b"probe")
+        os.unlink(probe)
+    except OSError as error:
+        raise SystemExit(f"error: {flag} {path!r} is not a writable directory: {error}")
 
 
 def _discover(args: argparse.Namespace) -> DiscoveryResult:
@@ -222,6 +284,12 @@ def cmd_discover(args: argparse.Namespace) -> int:
             f"fault tolerance: {metrics.total_faults_injected} faults injected, "
             f"{metrics.total_retries} task retries, "
             f"{metrics.total_recovered_oom_splits} OOM splits recovered"
+        )
+    if metrics.checkpoint_bytes or metrics.resumed_stages:
+        print(
+            f"checkpoint: {metrics.checkpoint_bytes:,} bytes written, "
+            f"{metrics.resumed_stages} resumed stages, "
+            f"{metrics.checkpoint_seconds:.2f}s checkpoint I/O"
         )
     for line in result.render_cinds(args.limit):
         print(" ", line)

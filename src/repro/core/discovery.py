@@ -23,7 +23,7 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.capture_groups import create_capture_groups
 from repro.core.cind import (
@@ -47,10 +47,16 @@ from repro.core.frequent_conditions import (
     detect_frequent_conditions,
 )
 from repro.core.minimality import broad_cind_list, consolidate_pertinent
+from repro.dataflow.checkpoint import (
+    CHECKPOINT_MODES,
+    CheckpointManager,
+    dataset_digest,
+    fingerprint_fields,
+)
 from repro.dataflow.engine import ExecutionEnvironment, record_cells
 from repro.dataflow.shuffle import SHUFFLE_MODES
 from repro.dataflow.executors import EXECUTOR_NAMES
-from repro.dataflow.faults import FaultPlan, RetryPolicy
+from repro.dataflow.faults import CRASH_MOMENTS, FaultPlan, RetryPolicy
 from repro.dataflow.gcpause import gc_paused
 from repro.dataflow.metrics import JobMetrics
 from repro.rdf.model import Dataset, EncodedDataset, TermDictionary
@@ -141,6 +147,35 @@ class RDFindConfig:
         ``mkdtemp`` per run, removed when the run finishes — success or
         failure).  Defaults to the system temp dir; ``RDFIND_SPILL_DIR``
         supplies the default.
+    checkpoint:
+        Durable checkpointing granularity: ``"off"`` (default),
+        ``"phase"`` (persist each of the three pipeline phases at its
+        boundary), or ``"stage"`` (additionally persist sub-stage
+        boundaries inside FCDetector and CINDExtractor).  See
+        :mod:`repro.dataflow.checkpoint`.  ``RDFIND_CHECKPOINT`` supplies
+        the default.
+    checkpoint_dir:
+        Where the job manifest and step files live.  Required when
+        ``checkpoint`` is not ``"off"``; checkpoints are durable — they
+        survive the run.  ``RDFIND_CHECKPOINT_DIR`` supplies the default.
+    resume:
+        Continue a killed job from its last durable boundary: the
+        manifest in ``checkpoint_dir`` is validated against this
+        config's fingerprint (mismatch is a typed error), completed
+        steps are loaded instead of recomputed, and the final output is
+        byte-identical to an uninterrupted run.  ``RDFIND_RESUME``
+        supplies the default.
+    crash_points:
+        Injected *driver* crash points, each ``"<moment>:<step>"`` with
+        moment ``before`` or ``after`` (e.g. ``"after:fc"``): the
+        process aborts at that checkpoint boundary, once — the attempt
+        count is persisted in the manifest, so the resumed run passes.
+        ``RDFIND_CRASH_POINT`` supplies the default (comma-separated).
+    task_timeout_seconds:
+        Per-task wall-clock bound under the ``process`` executor; a hung
+        task becomes a retryable transient fault instead of hanging the
+        job.  Off by default; ignored by ``serial``.
+        ``RDFIND_TASK_TIMEOUT_SECONDS`` supplies the default.
     """
 
     support_threshold: int = 25
@@ -197,6 +232,30 @@ class RDFindConfig:
     spill_dir: Optional[str] = field(
         default_factory=lambda: os.environ.get("RDFIND_SPILL_DIR") or None
     )
+    checkpoint: str = field(
+        default_factory=lambda: os.environ.get("RDFIND_CHECKPOINT", "off")
+    )
+    checkpoint_dir: Optional[str] = field(
+        default_factory=lambda: os.environ.get("RDFIND_CHECKPOINT_DIR") or None
+    )
+    resume: bool = field(
+        default_factory=lambda: os.environ.get("RDFIND_RESUME", "").lower()
+        in ("1", "true", "yes", "on")
+    )
+    crash_points: Tuple[str, ...] = field(
+        default_factory=lambda: tuple(
+            point
+            for point in os.environ.get("RDFIND_CRASH_POINT", "").split(",")
+            if point
+        )
+    )
+    task_timeout_seconds: Optional[float] = field(
+        default_factory=lambda: (
+            float(os.environ["RDFIND_TASK_TIMEOUT_SECONDS"])
+            if os.environ.get("RDFIND_TASK_TIMEOUT_SECONDS")
+            else None
+        )
+    )
 
     def __post_init__(self) -> None:
         if self.support_threshold < 1:
@@ -225,14 +284,67 @@ class RDFindConfig:
             raise ValueError(
                 f"memory_budget_bytes must be >= 1, got {self.memory_budget_bytes}"
             )
+        if self.checkpoint not in CHECKPOINT_MODES:
+            raise ValueError(
+                f"checkpoint must be one of {CHECKPOINT_MODES}, "
+                f"got {self.checkpoint!r}"
+            )
+        if self.checkpoint != "off" and not self.checkpoint_dir:
+            raise ValueError(
+                "checkpoint_dir is required when checkpointing is on "
+                "(set --checkpoint-dir / RDFIND_CHECKPOINT_DIR)"
+            )
+        if self.resume and self.checkpoint == "off":
+            raise ValueError(
+                "resume requires checkpointing "
+                "(set --checkpoint phase|stage)"
+            )
+        for point in self.crash_points:
+            moment, _separator, step = point.partition(":")
+            if moment not in CRASH_MOMENTS or not step:
+                raise ValueError(
+                    f"bad crash point {point!r} "
+                    f"(expected '<{'|'.join(CRASH_MOMENTS)}>:<step>')"
+                )
+        if self.crash_points and self.checkpoint == "off":
+            raise ValueError(
+                "crash points fire at checkpoint boundaries; "
+                "they require --checkpoint phase|stage"
+            )
+        if self.task_timeout_seconds is not None and self.task_timeout_seconds <= 0:
+            raise ValueError(
+                f"task_timeout_seconds must be > 0, got {self.task_timeout_seconds}"
+            )
 
     def effective_fault_plan(self) -> Optional[FaultPlan]:
-        """The plan to inject: explicit plan wins, else seeded, else none."""
-        if self.fault_plan is not None:
-            return self.fault_plan
-        if self.fault_seed is not None:
-            return FaultPlan(seed=self.fault_seed)
-        return None
+        """The plan to inject: explicit plan wins, else seeded, else none.
+
+        Configured ``crash_points`` are merged into the plan's forced
+        driver crashes either way — they are how the CLI (and CI's
+        crash-resume smoke leg) kill a driver at a specific boundary
+        without also turning on task-level fault rates.
+        """
+        plan = self.fault_plan
+        if plan is None and self.fault_seed is not None:
+            plan = FaultPlan(seed=self.fault_seed)
+        crashes = tuple(
+            (point.partition(":")[0], point.partition(":")[2])
+            for point in self.crash_points
+        )
+        if crashes:
+            if plan is None:
+                plan = FaultPlan(
+                    seed=0,
+                    transient_rate=0.0,
+                    crash_rate=0.0,
+                    straggler_rate=0.0,
+                    driver_crashes=crashes,
+                )
+            else:
+                plan = replace(
+                    plan, driver_crashes=plan.driver_crashes + crashes
+                )
+        return plan
 
     def effective_retry_policy(self) -> Optional[RetryPolicy]:
         """A policy honouring ``max_retries``, or ``None`` for the default."""
@@ -387,8 +499,22 @@ class RDFind:
             shuffle=config.shuffle,
             memory_budget_bytes=config.memory_budget_bytes,
             spill_dir=config.spill_dir,
+            task_timeout_seconds=config.task_timeout_seconds,
         )
+        manager: Optional[CheckpointManager] = None
         try:
+            if config.checkpoint != "off":
+                manager = CheckpointManager(
+                    config.checkpoint_dir,
+                    config.checkpoint,
+                    fingerprint=checkpoint_fingerprint(config, encoded),
+                    resume=config.resume,
+                    fault_plan=config.effective_fault_plan(),
+                    metrics=env.metrics,
+                )
+                manager.open()
+                env.checkpoint = manager
+
             use_columns = config.storage == "encoded"
             triples = env.from_collection(
                 encoded,
@@ -396,9 +522,8 @@ class RDFind:
                 cost_fn=record_cells if use_columns else None,
             )
 
-            frequent: Optional[FrequentConditions] = None
-            if config.prune_infrequent_conditions:
-                frequent = detect_frequent_conditions(
+            def compute_frequent() -> FrequentConditions:
+                return detect_frequent_conditions(
                     env,
                     triples,
                     h=config.support_threshold,
@@ -407,9 +532,12 @@ class RDFind:
                     columns=encoded if use_columns else None,
                 )
 
-            groups = create_capture_groups(
-                env, triples, scope=config.scope, frequent=frequent
-            )
+            frequent: Optional[FrequentConditions] = None
+            if config.prune_infrequent_conditions:
+                if manager is not None:
+                    frequent = manager.step("fc", "phase", compute_frequent)
+                else:
+                    frequent = compute_frequent()
 
             extraction_config = ExtractionConfig(
                 h=config.support_threshold,
@@ -418,11 +546,35 @@ class RDFind:
                 candidate_bloom_bits=config.candidate_bloom_bits,
                 candidate_bloom_hashes=config.candidate_bloom_hashes,
             )
-            broad, extraction_stats = extract_broad_cinds(
-                env, groups, extraction_config
-            )
+
+            def compute_groups():
+                return create_capture_groups(
+                    env, triples, scope=config.scope, frequent=frequent
+                )
+
+            def compute_extraction():
+                # Nesting the cg boundary inside the ex compute means a
+                # resume whose ex checkpoint is intact never touches
+                # CGCreator at all — the whole prefix is skipped.
+                if manager is not None:
+                    groups = manager.step_dataset(
+                        "cg", "phase", env, compute_groups
+                    )
+                else:
+                    groups = compute_groups()
+                return extract_broad_cinds(env, groups, extraction_config)
+
+            if manager is not None:
+                broad, extraction_stats = manager.step(
+                    "ex", "phase", compute_extraction
+                )
+            else:
+                broad, extraction_stats = compute_extraction()
             pertinent = consolidate_pertinent(broad)
         finally:
+            if manager is not None:
+                manager.close()
+                env.checkpoint = None
             env.close()
 
         elapsed = time.perf_counter() - started
@@ -446,6 +598,67 @@ class RDFind:
             elapsed_seconds=elapsed,
             broad_cinds=broad_cind_list(broad) if config.keep_broad_cinds else None,
         )
+
+
+def checkpoint_fingerprint(config: RDFindConfig, encoded: EncodedDataset) -> str:
+    """The job identity a checkpoint belongs to (manifest fingerprint).
+
+    Covers everything that shapes the persisted boundary values: the
+    dataset content (id columns + dictionary), ``h``, the scope, the
+    variant flags, bloom geometry, partitioning, storage layout, the
+    executor backend, and the task-fault seed/rates.  Deliberately
+    excluded: driver crash points (the resume launch legitimately drops
+    ``--crash-point``), retry/backoff knobs, and the spill plane — none
+    of them change any boundary's value.
+    """
+    plan = config.effective_fault_plan()
+    injects_task_faults = plan is not None and (
+        plan.transient_rate
+        or plan.crash_rate
+        or plan.straggler_rate
+        or plan.oom_rate
+        or plan.forced
+    )
+    fault_key = ""
+    if injects_task_faults:
+        # A plan synthesized purely to carry --crash-point injects no task
+        # faults and must fingerprint like no plan at all, or the resume
+        # launch (which drops --crash-point) would be rejected.
+        fault_key = repr(
+            (
+                plan.seed,
+                plan.transient_rate,
+                plan.crash_rate,
+                plan.straggler_rate,
+                plan.oom_rate,
+                plan.fire_attempts,
+                plan.forced,
+            )
+        )
+    scope = config.scope
+    scope_key = repr(
+        (
+            sorted(str(attr) for attr in scope.projection_attrs),
+            sorted(str(attr) for attr in scope.condition_attrs),
+            scope.allow_binary,
+        )
+    )
+    return fingerprint_fields(
+        dataset=dataset_digest(encoded),
+        h=config.support_threshold,
+        parallelism=config.parallelism,
+        scope=scope_key,
+        prune_infrequent_conditions=config.prune_infrequent_conditions,
+        prune_capture_support=config.prune_capture_support,
+        balance_dominant_groups=config.balance_dominant_groups,
+        bloom_fp_rate=config.bloom_fp_rate,
+        candidate_bloom_bits=config.candidate_bloom_bits,
+        candidate_bloom_hashes=config.candidate_bloom_hashes,
+        memory_budget=config.memory_budget,
+        storage=config.storage,
+        executor=config.executor,
+        faults=fault_key,
+    )
 
 
 def _count_non_trivial_broad(broad) -> int:

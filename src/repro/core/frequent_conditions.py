@@ -258,6 +258,80 @@ def _build_bloom(
     )
 
 
+def _dataflow_unary_counts(
+    env: ExecutionEnvironment,
+    triples: DataSet,
+    scope: ConditionScope,
+    h: int,
+) -> Tuple[Dict[UnaryCondition, int], DataSet]:
+    """Record-at-a-time path for steps 1-2 (counts dict + frequent dataset)."""
+    unary_counters = triples.flat_map(
+        _UnaryCounterEmitter(scope), name="fc/unary-counters"
+    ).reduce_by_key(
+        key_fn=pair_key,
+        value_fn=pair_value,
+        reduce_fn=operator.add,
+        name="fc/unary-aggregate",
+    )
+    frequent_unary = unary_counters.filter(
+        partial(_count_at_least, h), name="fc/unary-filter"
+    )
+    return dict(frequent_unary.collect(name="fc/unary-collect")), frequent_unary
+
+
+def _dataflow_binary_counts(
+    env: ExecutionEnvironment,
+    triples: DataSet,
+    scope: ConditionScope,
+    unary_bloom: BloomFilter,
+    h: int,
+) -> Tuple[Dict[BinaryCondition, int], DataSet]:
+    """Record-at-a-time path for Algorithm 1 (counts dict + frequent dataset)."""
+    binary_counters = triples.flat_map(
+        _BinaryCounterEmitter(scope, unary_bloom),
+        name="fc/binary-counters",
+    ).reduce_by_key(
+        key_fn=pair_key,
+        value_fn=pair_value,
+        reduce_fn=operator.add,
+        name="fc/binary-aggregate",
+    )
+    frequent_binary = binary_counters.filter(
+        partial(_count_at_least, h), name="fc/binary-filter"
+    )
+    return (
+        dict(frequent_binary.collect(name="fc/binary-collect")),
+        frequent_binary,
+    )
+
+
+def _unary_counts_only(
+    env: ExecutionEnvironment,
+    triples: DataSet,
+    scope: ConditionScope,
+    h: int,
+    columns: Optional[EncodedDataset],
+) -> Dict[UnaryCondition, int]:
+    """The fc/unary checkpoint boundary's value: just the counts dict."""
+    if columns is not None:
+        return _columnar_unary_counts(env, columns, scope, h)
+    return _dataflow_unary_counts(env, triples, scope, h)[0]
+
+
+def _binary_counts_only(
+    env: ExecutionEnvironment,
+    triples: DataSet,
+    scope: ConditionScope,
+    unary_bloom: BloomFilter,
+    h: int,
+    columns: Optional[EncodedDataset],
+) -> Dict[BinaryCondition, int]:
+    """The fc/binary checkpoint boundary's value: just the counts dict."""
+    if columns is not None:
+        return _columnar_binary_counts(env, columns, scope, unary_bloom, h)
+    return _dataflow_binary_counts(env, triples, scope, unary_bloom, h)[0]
+
+
 def detect_frequent_conditions(
     env: ExecutionEnvironment,
     triples: DataSet,
@@ -292,27 +366,36 @@ def detect_frequent_conditions(
         raise ValueError(f"support threshold must be >= 1, got {h}")
     scope = scope if scope is not None else ConditionScope.full()
 
+    # Stage-granularity checkpointing: the counting stages (the expensive
+    # part of the phase) become durable boundaries.  A checkpointed run
+    # materializes the frequent-condition datasets from the collected
+    # count dicts — content-identical to the filter datasets the plain
+    # dataflow path feeds downstream (the Bloom unions are bit-wise ORs
+    # and the AR list is sorted at the end, so neither depends on the
+    # partition layout), which is what lets a restored dict stand in.
+    ckpt = getattr(env, "checkpoint", None)
+    if ckpt is not None and not ckpt.enabled("stage"):
+        ckpt = None
+
     # Steps 1-2: frequent unary conditions with early aggregation.
-    if columns is not None:
-        unary_counts: Dict[UnaryCondition, int] = _columnar_unary_counts(
-            env, columns, scope, h
+    if ckpt is not None:
+        unary_counts: Dict[UnaryCondition, int] = ckpt.step(
+            "fc/unary",
+            "stage",
+            partial(_unary_counts_only, env, triples, scope, h, columns),
         )
         frequent_unary = env.from_collection(
             unary_counts.items(), name="fc/unary-frequent"
         )
+    elif columns is not None:
+        unary_counts = _columnar_unary_counts(env, columns, scope, h)
+        frequent_unary = env.from_collection(
+            unary_counts.items(), name="fc/unary-frequent"
+        )
     else:
-        unary_counters = triples.flat_map(
-            _UnaryCounterEmitter(scope), name="fc/unary-counters"
-        ).reduce_by_key(
-            key_fn=pair_key,
-            value_fn=pair_value,
-            reduce_fn=operator.add,
-            name="fc/unary-aggregate",
+        unary_counts, frequent_unary = _dataflow_unary_counts(
+            env, triples, scope, h
         )
-        frequent_unary = unary_counters.filter(
-            partial(_count_at_least, h), name="fc/unary-filter"
-        )
-        unary_counts = dict(frequent_unary.collect(name="fc/unary-collect"))
 
     # Steps 3-5: unary Bloom filter, built distributedly and broadcast.
     unary_bloom = _build_bloom(
@@ -324,7 +407,24 @@ def detect_frequent_conditions(
     binary_counts: Dict[BinaryCondition, int] = {}
     if scope.allow_binary and len(scope.condition_attrs) >= 2:
         # Steps 6-7: frequent binary conditions (Algorithm 1).
-        if columns is not None:
+        if ckpt is not None:
+            binary_counts = ckpt.step(
+                "fc/binary",
+                "stage",
+                partial(
+                    _binary_counts_only,
+                    env,
+                    triples,
+                    scope,
+                    unary_bloom,
+                    h,
+                    columns,
+                ),
+            )
+            frequent_binary = env.from_collection(
+                binary_counts.items(), name="fc/binary-frequent"
+            )
+        elif columns is not None:
             binary_counts = _columnar_binary_counts(
                 env, columns, scope, unary_bloom, h
             )
@@ -332,20 +432,8 @@ def detect_frequent_conditions(
                 binary_counts.items(), name="fc/binary-frequent"
             )
         else:
-            binary_counters = triples.flat_map(
-                _BinaryCounterEmitter(scope, unary_bloom),
-                name="fc/binary-counters",
-            ).reduce_by_key(
-                key_fn=pair_key,
-                value_fn=pair_value,
-                reduce_fn=operator.add,
-                name="fc/binary-aggregate",
-            )
-            frequent_binary = binary_counters.filter(
-                partial(_count_at_least, h), name="fc/binary-filter"
-            )
-            binary_counts = dict(
-                frequent_binary.collect(name="fc/binary-collect")
+            binary_counts, frequent_binary = _dataflow_binary_counts(
+                env, triples, scope, unary_bloom, h
             )
         # Steps 8-9: binary Bloom filter.
         binary_bloom = _build_bloom(
@@ -356,9 +444,16 @@ def detect_frequent_conditions(
         binary_bloom = BloomFilter.for_capacity(1, fp_rate)
 
     # Step 11: association rules by joining unary and binary counters.
-    association_rules = _extract_association_rules(
-        frequent_unary, frequent_binary
-    )
+    if ckpt is not None:
+        association_rules = ckpt.step(
+            "fc/rules",
+            "stage",
+            partial(_extract_association_rules, frequent_unary, frequent_binary),
+        )
+    else:
+        association_rules = _extract_association_rules(
+            frequent_unary, frequent_binary
+        )
 
     return FrequentConditions(
         h=h,

@@ -30,6 +30,13 @@ with byte-identical output.
 """
 
 from repro.dataflow.bloom import BloomFilter
+from repro.dataflow.checkpoint import (
+    CHECKPOINT_MODES,
+    CheckpointError,
+    CheckpointManager,
+    CheckpointMismatchError,
+    JobManifest,
+)
 from repro.dataflow.engine import (
     DataSet,
     ExecutionEnvironment,
@@ -44,11 +51,13 @@ from repro.dataflow.executors import (
     create_executor,
 )
 from repro.dataflow.faults import (
+    DRIVER_CRASH_EXIT_CODE,
     FaultPlan,
     InjectedTaskFault,
     RetryPolicy,
     SimulatedClock,
     SimulatedWorkerCrash,
+    TaskTimeoutError,
 )
 from repro.dataflow.metrics import JobMetrics, StageMetrics
 from repro.dataflow.shuffle import (
@@ -61,6 +70,13 @@ from repro.dataflow.shuffle import (
 
 __all__ = [
     "BloomFilter",
+    "CHECKPOINT_MODES",
+    "CheckpointError",
+    "CheckpointManager",
+    "CheckpointMismatchError",
+    "JobManifest",
+    "DRIVER_CRASH_EXIT_CODE",
+    "TaskTimeoutError",
     "DataSet",
     "ExecutionEnvironment",
     "SimulatedOutOfMemory",

@@ -97,6 +97,7 @@ from typing import (
 )
 
 from repro.dataflow import shuffle as _shuffle
+from repro.dataflow import workspace as _workspace
 from repro.dataflow.executors import create_executor
 from repro.dataflow.faults import (
     FaultPlan,
@@ -443,6 +444,11 @@ class ExecutionEnvironment:
         Full :class:`~repro.dataflow.shuffle.SpillConfig` override for
         tests and benchmarks (frame sizing, merge fan-in); wins over
         ``memory_budget_bytes`` when given.
+    task_timeout_seconds:
+        Per-task wall-clock bound under the ``process`` backend; a
+        timed-out task is treated as a retryable transient fault (the
+        pool is abandoned and the task replayed).  ``None`` (default)
+        waits forever; ignored by ``serial``.
     """
 
     def __init__(
@@ -459,6 +465,7 @@ class ExecutionEnvironment:
         memory_budget_bytes: Optional[int] = None,
         spill_dir: Optional[str] = None,
         spill_config: Optional[SpillConfig] = None,
+        task_timeout_seconds: Optional[float] = None,
     ) -> None:
         if parallelism < 1:
             raise ValueError("parallelism must be >= 1")
@@ -477,13 +484,20 @@ class ExecutionEnvironment:
         )
         self._spill_dir_base = spill_dir
         self._spill_root: Optional[str] = None
+        self._spill_token: Optional[int] = None
         self._spill_stage_seq = 0
+        #: Optional CheckpointManager the discovery facade attaches so
+        #: pipeline code can checkpoint sub-stage boundaries (kept as a
+        #: plain attribute: repro.dataflow.checkpoint must stay importable
+        #: without the engine and vice versa).
+        self.checkpoint = None
         self.executor = create_executor(
             executor,
             self.parallelism,
             workers,
             retry_policy=retry_policy,
             fault_plan=fault_plan,
+            task_timeout_seconds=task_timeout_seconds,
         )
         self.metrics = JobMetrics(
             job_name=name,
@@ -505,6 +519,11 @@ class ExecutionEnvironment:
             if base is not None:
                 os.makedirs(base, exist_ok=True)
             self._spill_root = tempfile.mkdtemp(prefix="rdfind-spill-", dir=base)
+            # Interrupted runs (Ctrl-C, SIGTERM, plain exit without
+            # close()) must not leak the workspace.
+            self._spill_token = _workspace.register(
+                self._spill_root, kind=_workspace.TREE
+            )
         stage_dir = os.path.join(
             self._spill_root, f"stage{self._spill_stage_seq:04d}"
         )
@@ -518,6 +537,9 @@ class ExecutionEnvironment:
         if self._spill_root is not None:
             shutil.rmtree(self._spill_root, ignore_errors=True)
             self._spill_root = None
+        if self._spill_token is not None:
+            _workspace.unregister(self._spill_token)
+            self._spill_token = None
 
     def __enter__(self) -> "ExecutionEnvironment":
         return self

@@ -43,6 +43,7 @@ import multiprocessing
 import os
 from concurrent.futures import BrokenExecutor
 from concurrent.futures import ProcessPoolExecutor as _ProcessPool
+from concurrent.futures import TimeoutError as _FuturesTimeout
 from typing import Any, Callable, List, Optional, Sequence
 
 from repro.dataflow.faults import (
@@ -50,6 +51,7 @@ from repro.dataflow.faults import (
     FaultPlan,
     RetryPolicy,
     SimulatedClock,
+    TaskTimeoutError,
 )
 
 #: The recognised backend names, in preference order.
@@ -179,13 +181,24 @@ class ProcessExecutor:
         inline_threshold: int = DEFAULT_INLINE_THRESHOLD,
         retry_policy: Optional[RetryPolicy] = None,
         fault_plan: Optional[FaultPlan] = None,
+        task_timeout_seconds: Optional[float] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if task_timeout_seconds is not None and task_timeout_seconds <= 0:
+            raise ValueError(
+                f"task_timeout_seconds must be > 0, got {task_timeout_seconds}"
+            )
         self.workers = int(workers)
         self.inline_threshold = int(inline_threshold)
         self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
         self.fault_plan = fault_plan
+        #: Per-task wall-clock bound; ``None`` (the default) waits forever.
+        #: A timed-out task is treated as a retryable transient fault: the
+        #: pool (with its hung worker) is abandoned and the task replayed
+        #: on a fresh one, up to the retry budget.  Inline-threshold
+        #: stages run in the driver and are not subject to the bound.
+        self.task_timeout_seconds = task_timeout_seconds
         self.clock = SimulatedClock()
         self._pool: Optional[_ProcessPool] = None
 
@@ -226,6 +239,7 @@ class ProcessExecutor:
                 task, payloads, self.fault_plan, self.retry_policy, self.clock, stage
             )
         plan, policy, clock = self.fault_plan, self.retry_policy, self.clock
+        timeout = self.task_timeout_seconds
         stage_name = stage.name if stage is not None else ""
         total = len(payloads)
         results: List[Any] = [None] * total
@@ -244,11 +258,28 @@ class ProcessExecutor:
                 )
                 submitted.append((index, injected, pool.submit(runnable, payloads[index])))
             replay: List[int] = []
+            hung: List[int] = []
             first_fatal: Optional[BaseException] = None
             broken: Optional[BaseException] = None
             for index, injected, future in submitted:
                 try:
-                    results[index] = future.result()
+                    results[index] = future.result(timeout=timeout)
+                except _FuturesTimeout as error:
+                    if timeout is not None:
+                        # The wait expired — the task is hung (or starved
+                        # behind a hung worker); dealt with below, after
+                        # every finished result has been harvested.
+                        hung.append(index)
+                    elif attempts[index] < policy.max_retries and policy.is_retryable(
+                        error, injected
+                    ):
+                        # No bound configured: the *task* raised a
+                        # TimeoutError of its own; classify it normally.
+                        attempts[index] += 1
+                        replay.append(index)
+                        _count_retry(stage, clock, policy, attempts[index])
+                    elif first_fatal is None:
+                        first_fatal = error
                 except BrokenExecutor as error:
                     # The attempt still counts (so a planned crash does
                     # not re-fire), but the replay is governed by the
@@ -268,6 +299,20 @@ class ProcessExecutor:
                         _count_retry(stage, clock, policy, attempts[index])
                     elif first_fatal is None:
                         first_fatal = error
+            if hung:
+                # A hung worker never returns: a normal close() would
+                # join it forever, so the pool is abandoned (no wait,
+                # queued work cancelled, lingering workers terminated)
+                # and each timed-out task becomes a retryable transient
+                # fault replayed on a fresh pool, up to the retry budget.
+                self._abandon_pool()
+                for index in hung:
+                    if attempts[index] < policy.max_retries:
+                        attempts[index] += 1
+                        replay.append(index)
+                        _count_retry(stage, clock, policy, attempts[index])
+                    elif first_fatal is None:
+                        first_fatal = TaskTimeoutError(stage_name, index, timeout)
             if broken is not None:
                 self.close()
                 rebuilds += 1
@@ -284,6 +329,22 @@ class ProcessExecutor:
             self._pool.shutdown(wait=True)
             self._pool = None
 
+    def _abandon_pool(self) -> None:
+        """Drop a pool that may hold hung workers, without joining them."""
+        pool = self._pool
+        if pool is None:
+            return
+        self._pool = None
+        pool.shutdown(wait=False, cancel_futures=True)
+        # shutdown(wait=False) leaves a worker stuck in a task running;
+        # terminate survivors so a hung task cannot outlive its retry.
+        # _processes is private API, hence the defensive access.
+        try:
+            for process in list(getattr(pool, "_processes", {}).values()):
+                process.terminate()
+        except Exception:  # pragma: no cover - best-effort reaping
+            pass
+
 
 def create_executor(
     name: str,
@@ -291,8 +352,14 @@ def create_executor(
     workers: Optional[int] = None,
     retry_policy: Optional[RetryPolicy] = None,
     fault_plan: Optional[FaultPlan] = None,
+    task_timeout_seconds: Optional[float] = None,
 ):
-    """Build the backend ``name`` sized for ``parallelism`` partitions."""
+    """Build the backend ``name`` sized for ``parallelism`` partitions.
+
+    ``task_timeout_seconds`` only binds the ``process`` backend: serial
+    tasks run inline in the driver, where a wall-clock bound cannot be
+    enforced without killing the driver itself.
+    """
     if name == "serial":
         return SerialExecutor(retry_policy=retry_policy, fault_plan=fault_plan)
     if name == "process":
@@ -300,6 +367,7 @@ def create_executor(
             workers if workers is not None else default_worker_count(parallelism),
             retry_policy=retry_policy,
             fault_plan=fault_plan,
+            task_timeout_seconds=task_timeout_seconds,
         )
     raise ValueError(
         f"unknown executor {name!r} (expected one of {EXECUTOR_NAMES})"

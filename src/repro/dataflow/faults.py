@@ -51,6 +51,16 @@ OOM = "oom"
 
 FAULT_KINDS = (TRANSIENT, CRASH, STRAGGLER, OOM)
 
+#: Moments a driver crash point can fire, relative to a checkpoint boundary.
+BEFORE = "before"
+AFTER = "after"
+CRASH_MOMENTS = (BEFORE, AFTER)
+
+#: Exit status of a driver aborted by an injected crash point — distinct
+#: from every normal failure path so tests and CI can assert that the
+#: process died at the injection, not on a real error.
+DRIVER_CRASH_EXIT_CODE = 47
+
 
 class SimulatedOutOfMemory(MemoryError):
     """A simulated worker exceeded its per-partition memory budget."""
@@ -86,6 +96,27 @@ class InjectedTaskFault(RuntimeError):
 
     def __reduce__(self):
         return (InjectedTaskFault, (self.stage, self.task_index, self.attempt))
+
+
+class TaskTimeoutError(RuntimeError):
+    """A task exceeded the per-task wall-clock timeout on every attempt.
+
+    Raised by the process executor after the retry budget is exhausted;
+    a single timeout is treated as a retryable transient fault (the pool
+    is abandoned and the task replayed on a fresh one).
+    """
+
+    def __init__(self, stage: str, task_index: int, timeout_seconds: float) -> None:
+        super().__init__(
+            f"task timed out: stage {stage!r} task {task_index} exceeded "
+            f"{timeout_seconds}s on every attempt"
+        )
+        self.stage = stage
+        self.task_index = task_index
+        self.timeout_seconds = timeout_seconds
+
+    def __reduce__(self):
+        return (TaskTimeoutError, (self.stage, self.task_index, self.timeout_seconds))
 
 
 class SimulatedWorkerCrash(BrokenExecutor):
@@ -148,6 +179,16 @@ class FaultPlan:
         Explicit ``(stage_substring, task_index, kind)`` triples injected
         on top of the probabilistic schedule — how tests pin "at least
         one transient failure in each phase and one worker crash".
+    driver_crash_rate:
+        Per-boundary probability of a *driver* crash: the whole process
+        aborts (``os._exit``) at a checkpoint boundary instead of one
+        task failing.  Only meaningful when checkpointing is on — the
+        checkpoint manager is what evaluates the boundary decisions.
+    driver_crashes:
+        Explicit ``(moment, step_substring)`` pairs forcing a driver
+        crash before/after a named checkpoint boundary (``moment`` is
+        ``"before"`` or ``"after"``); how the CLI's ``--crash-point``
+        and the crash-resume tests pin a kill at each phase boundary.
 
     The plan is a frozen dataclass of primitives, hence picklable: the
     process backend ships it to pool workers inside
@@ -163,6 +204,8 @@ class FaultPlan:
     straggler_seconds: float = 0.002
     fire_attempts: int = 1
     forced: Tuple[Tuple[str, int, str], ...] = ()
+    driver_crash_rate: float = 0.0
+    driver_crashes: Tuple[Tuple[str, str], ...] = ()
 
     def __post_init__(self) -> None:
         rates = (
@@ -173,11 +216,16 @@ class FaultPlan:
         )
         if any(rate < 0.0 for rate in rates) or sum(rates) > 1.0:
             raise ValueError("fault rates must be >= 0 and sum to <= 1")
+        if not 0.0 <= self.driver_crash_rate <= 1.0:
+            raise ValueError("driver_crash_rate must be in [0, 1]")
         if self.fire_attempts < 1:
             raise ValueError("fire_attempts must be >= 1")
         for entry in self.forced:
             if len(entry) != 3 or entry[2] not in FAULT_KINDS:
                 raise ValueError(f"bad forced fault {entry!r}")
+        for entry in self.driver_crashes:
+            if len(entry) != 2 or entry[0] not in CRASH_MOMENTS:
+                raise ValueError(f"bad driver crash point {entry!r}")
 
     def decide(self, stage: str, task_index: int, attempt: int) -> Optional[str]:
         """The fault kind for this task slot, or ``None`` for a clean run."""
@@ -197,6 +245,22 @@ class FaultPlan:
                 return kind
             draw -= rate
         return None
+
+    def decide_driver_crash(self, step: str, moment: str, attempt: int) -> bool:
+        """Whether the driver should abort at this checkpoint boundary.
+
+        ``attempt`` counts how many times this exact boundary has already
+        crashed (the checkpoint manifest persists the count across
+        process deaths), so ``fire_attempts`` bounds driver crashes the
+        same way it bounds task faults: the resumed run passes.
+        """
+        if attempt >= self.fire_attempts:
+            return False
+        for forced_moment, step_substring in self.driver_crashes:
+            if forced_moment == moment and step_substring in step:
+                return True
+        draw = _uniform(self.seed, f"driver|{moment}|{step}", 0)
+        return draw < self.driver_crash_rate
 
     def raise_for(self, kind: str, stage: str, task_index: int, attempt: int) -> None:
         """Execute the side effect of one decided fault."""

@@ -121,6 +121,13 @@ class JobMetrics:
     executor: str = "serial"
     #: Worker-process count of the backend (1 for serial).
     workers: int = 1
+    #: Framed bytes written to checkpoint step files (--checkpoint).
+    checkpoint_bytes: int = 0
+    #: Driver time spent persisting and restoring checkpoints.
+    checkpoint_seconds: float = 0.0
+    #: Pipeline boundaries restored from a checkpoint instead of
+    #: recomputed (--resume) — the proof that completed work was skipped.
+    resumed_stages: int = 0
     stages: List[StageMetrics] = field(default_factory=list)
 
     def new_stage(self, name: str) -> StageMetrics:
@@ -249,6 +256,9 @@ class JobMetrics:
             "spilled_bytes": self.total_spilled_bytes,
             "merge_passes": self.total_merge_passes,
             "peak_state_bytes": self.max_peak_state_bytes,
+            "checkpoint_bytes": self.checkpoint_bytes,
+            "checkpoint_seconds": self.checkpoint_seconds,
+            "resumed_stages": self.resumed_stages,
         }
 
     def describe(self) -> str:
@@ -279,6 +289,12 @@ class JobMetrics:
                 f" spills={self.total_spilled_runs} "
                 f"spill-bytes={self.total_spilled_bytes} "
                 f"merge-passes={self.total_merge_passes}"
+            )
+        if self.checkpoint_bytes or self.resumed_stages:
+            total += (
+                f" ckpt-bytes={self.checkpoint_bytes} "
+                f"ckpt-seconds={self.checkpoint_seconds:.3f} "
+                f"resumed={self.resumed_stages}"
             )
         lines.append(total)
         return "\n".join(lines)

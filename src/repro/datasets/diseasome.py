@@ -64,9 +64,12 @@ def diseasome(scale: float = 1.0, seed: int = 202, encoded: bool = False) -> "Da
         builder.add(disease, "omimId", f'"{100000 + index}"')
         builder.add(disease, "sizeDegree", f'"{rng.randint(1, 40)}"')
         builder.add(disease, "diseaseClass", subclass_parent[subclass])
-        for gene in {gene_chooser.choice() for _ in range(rng.randint(1, 5))}:
+        # sorted(): set iteration order follows string hashing, which is
+        # randomized per process — generation must be process-independent
+        # so checkpoints from a killed run stay valid for the resume run.
+        for gene in sorted({gene_chooser.choice() for _ in range(rng.randint(1, 5))}):
             builder.add(disease, "associatedGene", gene)
-        for drug in {drug_chooser.choice() for _ in range(rng.randint(0, 2))}:
+        for drug in sorted({drug_chooser.choice() for _ in range(rng.randint(0, 2))}):
             builder.add(disease, "possibleDrug", drug)
 
     for index, gene in enumerate(gene_uris):

@@ -60,7 +60,9 @@ def drugbank(scale: float = 1.0, seed: int = 404, encoded: bool = False) -> "Dat
             builder.add(drug, "halfLife", f'"{rng.randint(1, 96)} hours"')
         if index not in (30 % n_drugs, 47 % n_drugs):
             # the two special drugs get only the planted target sets below
-            for target in {target_chooser.choice() for _ in range(rng.randint(1, 6))}:
+            # sorted(): set order follows per-process string hashing; keep
+            # generation process-independent so resume runs see the same bytes.
+            for target in sorted({target_chooser.choice() for _ in range(rng.randint(1, 6))}):
                 builder.add(drug, "target", target)
         for other_index in builder.pick_some(range(n_drugs), 0, 8):
             if other_index != index:
