@@ -1,0 +1,99 @@
+"""Server result cache: what a fingerprint hit saves, end to end.
+
+Not a paper figure — this characterizes the discovery-as-a-service layer
+(`rdfind serve`): a long-running server fronting the discovery pipeline
+with a result cache keyed on the request's BLAKE2b config fingerprint
+(the same scheme the checkpoint manifests use).  Three measurements:
+
+* **cold** — submit a config the server has never seen and poll to
+  completion: admission + worker subprocess + full discovery + result
+  fetch.
+* **warm** — resubmit the identical config: the fingerprint matches the
+  finished job, so the server answers from the stored result document
+  without spawning anything.  The fetched bytes are asserted identical
+  to the cold run's.
+* **thundering herd** — N clients concurrently submit one identical
+  *fresh* config: exactly one worker must be spawned; everyone else
+  joins the in-flight job and reads the same result.
+"""
+
+import shutil
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.server import DiscoveryServer, JobService, ServerClient, ServiceConfig
+
+from benchmarks.conftest import once
+
+DATASET = "Diseasome"
+H = 10
+HERD = 8
+
+
+def test_server_cache(benchmark, report):
+    def body():
+        job_dir = tempfile.mkdtemp(prefix="rdfind-bench-server-")
+        config = ServiceConfig(
+            job_dir=job_dir, max_concurrent_jobs=2, max_queued_jobs=HERD,
+            poll_interval_seconds=0.02,
+        )
+        server = DiscoveryServer(JobService(config), port=0).start()
+        client = ServerClient(server.url, timeout=120.0)
+        try:
+            started = time.perf_counter()
+            job = client.submit(dataset=DATASET, support_threshold=H)
+            client.wait(job["id"], timeout=600)
+            cold_bytes = client.raw_result(job["id"])
+            cold = time.perf_counter() - started
+            assert job["cache"] == "miss"
+
+            started = time.perf_counter()
+            again = client.submit(dataset=DATASET, support_threshold=H)
+            warm_bytes = client.raw_result(again["id"])
+            warm = time.perf_counter() - started
+            assert again["cache"] == "hit" and again["id"] == job["id"]
+            assert warm_bytes == cold_bytes
+
+            # A fresh config so the herd's first request is a real miss.
+            spawned_before = server.service.started_jobs
+            started = time.perf_counter()
+            with ThreadPoolExecutor(max_workers=HERD) as pool:
+                herd_jobs = list(
+                    pool.map(
+                        lambda _i: client.submit(
+                            dataset=DATASET, support_threshold=H + 5
+                        ),
+                        range(HERD),
+                    )
+                )
+            client.wait(herd_jobs[0]["id"], timeout=600)
+            herd = time.perf_counter() - started
+            herd_spawned = server.service.started_jobs - spawned_before
+            assert len({j["id"] for j in herd_jobs}) == 1
+        finally:
+            server.stop()
+            shutil.rmtree(job_dir, ignore_errors=True)
+        return cold, warm, herd, herd_spawned, len(cold_bytes)
+
+    cold, warm, herd, herd_spawned, result_bytes = once(benchmark, body)
+
+    section = report.section(
+        f"Server cache — fingerprint-keyed result reuse ({DATASET} h={H})"
+    )
+    section.row(
+        f"cold submit -> complete -> fetch: {cold:.2f}s "
+        f"({result_bytes:,} result bytes via HTTP)"
+    )
+    section.row(
+        f"warm resubmit (fingerprint hit): {warm*1000:.0f}ms, "
+        f"{cold/warm:.0f}x faster, zero workers spawned, "
+        f"bytes identical to cold run (asserted)"
+    )
+    section.row(
+        f"thundering herd, {HERD} identical concurrent clients (h={H+5}): "
+        f"{herd_spawned} worker spawned for {HERD} submissions, "
+        f"all joined one job id, {herd:.2f}s total"
+    )
+    assert warm < cold
+    assert herd_spawned == 1

@@ -15,6 +15,7 @@ Subcommands::
     rdfind inds dataset:LUBM-1                   # plain INDs (SINDY-style)
     rdfind profile dataset:Diseasome             # everything in one report
     rdfind cross a.nt b.nt -s 25                 # cross-dataset CINDs
+    rdfind serve --port 8745 --job-dir jobs      # discovery job server
 
 Inputs are N-Triples files, Turtle files (``.ttl``), or
 ``dataset:<Name>`` to use a synthetic Table 2 dataset.
@@ -391,6 +392,65 @@ def cmd_cross(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the discovery job server until SIGTERM/SIGINT.
+
+    The first signal shuts down gracefully: admission stops, in-flight
+    workers are terminated and their jobs requeued (their checkpoint
+    dirs survive, so the next ``serve`` resumes them at the last durable
+    boundary).  A second signal forces immediate death — the job dir is
+    registered with :mod:`repro.dataflow.workspace`, so ``*.tmp`` litter
+    is swept like a spill tree either way.
+    """
+    import signal
+    import threading
+
+    from repro.server.routes import DiscoveryServer
+    from repro.server.service import JobService, ServiceConfig
+
+    _require_writable_dir(args.job_dir, flag="--job-dir")
+    service = JobService(
+        ServiceConfig(
+            job_dir=args.job_dir,
+            max_concurrent_jobs=args.max_concurrent_jobs,
+            max_queued_jobs=args.max_queued_jobs,
+        )
+    )
+    try:
+        server = DiscoveryServer(
+            service, host=args.host, port=args.port, quiet=not args.verbose
+        )
+    except OSError as error:
+        raise SystemExit(f"error: cannot bind {args.host}:{args.port}: {error}")
+
+    shutdown_requested = threading.Event()
+
+    def handle_signal(signum: int, frame) -> None:
+        if shutdown_requested.is_set():
+            signal.signal(signum, signal.SIG_DFL)
+            os.kill(os.getpid(), signum)
+            return
+        shutdown_requested.set()
+        service.stop_admitting()
+        # serve_forever blocks this (main) thread; shutdown() blocks
+        # until the serve loop exits, so it must run elsewhere.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, handle_signal)
+
+    print(
+        f"rdfind server listening on {server.url} "
+        f"(job dir {os.path.abspath(args.job_dir)}, "
+        f"max {args.max_concurrent_jobs} concurrent / "
+        f"{args.max_queued_jobs} queued jobs)",
+        flush=True,
+    )
+    server.serve_forever()
+    print("rdfind server stopped (in-flight jobs requeued for resume)")
+    return 0
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
     dataset = _load_input(args.input, scale=args.scale, storage=args.storage)
     h = args.support if args.support > 0 else None
@@ -475,6 +535,44 @@ def build_parser() -> argparse.ArgumentParser:
     cross.add_argument("--scale", type=float, default=1.0)
     cross.add_argument("-n", "--limit", type=int, default=20)
 
+    serve = sub.add_parser(
+        "serve", help="run the discovery job server (HTTP, stdlib-only)"
+    )
+    serve.add_argument(
+        "--host", default=os.environ.get("RDFIND_HOST", "127.0.0.1"),
+        help="bind address (default 127.0.0.1; RDFIND_HOST overrides)",
+    )
+    serve.add_argument(
+        "--port", type=int,
+        default=int(os.environ.get("RDFIND_PORT", "8745")),
+        help="bind port; 0 picks an ephemeral port "
+        "(default 8745; RDFIND_PORT overrides)",
+    )
+    serve.add_argument(
+        "--job-dir", default=os.environ.get("RDFIND_JOB_DIR") or None,
+        required=not os.environ.get("RDFIND_JOB_DIR"),
+        help="durable job workspace: one subdirectory per job holding its "
+        "record, result, and checkpoint dir (jobs survive restarts; "
+        "RDFIND_JOB_DIR supplies the default)",
+    )
+    serve.add_argument(
+        "--max-concurrent-jobs", type=int,
+        default=int(os.environ.get("RDFIND_MAX_CONCURRENT_JOBS", "2")),
+        help="worker subprocesses running at once "
+        "(default 2; RDFIND_MAX_CONCURRENT_JOBS overrides)",
+    )
+    serve.add_argument(
+        "--max-queued-jobs", type=int,
+        default=int(os.environ.get("RDFIND_MAX_QUEUED_JOBS", "8")),
+        help="admission bound on waiting jobs; submissions beyond it get "
+        "429 + Retry-After (default 8; RDFIND_MAX_QUEUED_JOBS overrides)",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", default=False,
+        help="log every HTTP request to stderr",
+    )
+    _add_executor_flags(serve)
+
     profile = sub.add_parser(
         "profile", help="full dataset profiling report (ProLOD++-style)"
     )
@@ -508,6 +606,7 @@ _COMMANDS = {
     "inds": cmd_inds,
     "cross": cmd_cross,
     "profile": cmd_profile,
+    "serve": cmd_serve,
 }
 
 

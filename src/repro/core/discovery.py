@@ -471,20 +471,28 @@ class RDFind:
         self,
         dataset: Union[Dataset, EncodedDataset, Sequence],
         h: Optional[int] = None,
+        metrics: Optional[JobMetrics] = None,
     ) -> DiscoveryResult:
         """Discover all pertinent CINDs and ARs in ``dataset``.
 
         ``h`` overrides the configured support threshold for this run.
         Accepts a :class:`Dataset`, an :class:`EncodedDataset`, or any
-        sequence of ``(s, p, o)`` string tuples.
+        sequence of ``(s, p, o)`` string tuples.  ``metrics`` optionally
+        supplies the :class:`JobMetrics` the run accumulates into, so an
+        observer holding the same object can watch progress live (the
+        job server's worker streams it as ``progress.json``); the result
+        carries the same instance either way.
         """
         config = self.config if h is None else self.config.with_support(h)
         encoded = _as_encoded(dataset)
         with gc_paused():
-            return self._discover_encoded(encoded, config)
+            return self._discover_encoded(encoded, config, metrics=metrics)
 
     def _discover_encoded(
-        self, encoded: EncodedDataset, config: RDFindConfig
+        self,
+        encoded: EncodedDataset,
+        config: RDFindConfig,
+        metrics: Optional[JobMetrics] = None,
     ) -> DiscoveryResult:
         started = time.perf_counter()
         env = ExecutionEnvironment(
@@ -500,6 +508,7 @@ class RDFind:
             memory_budget_bytes=config.memory_budget_bytes,
             spill_dir=config.spill_dir,
             task_timeout_seconds=config.task_timeout_seconds,
+            metrics=metrics,
         )
         manager: Optional[CheckpointManager] = None
         try:

@@ -466,6 +466,7 @@ class ExecutionEnvironment:
         spill_dir: Optional[str] = None,
         spill_config: Optional[SpillConfig] = None,
         task_timeout_seconds: Optional[float] = None,
+        metrics: Optional[JobMetrics] = None,
     ) -> None:
         if parallelism < 1:
             raise ValueError("parallelism must be >= 1")
@@ -499,12 +500,14 @@ class ExecutionEnvironment:
             fault_plan=fault_plan,
             task_timeout_seconds=task_timeout_seconds,
         )
-        self.metrics = JobMetrics(
-            job_name=name,
-            parallelism=self.parallelism,
-            executor=self.executor.name,
-            workers=self.executor.workers,
-        )
+        # A caller-supplied JobMetrics lets an observer in another thread
+        # watch the job live (the server's worker snapshots it into
+        # progress.json while discovery runs); default is a private one.
+        self.metrics = metrics if metrics is not None else JobMetrics()
+        self.metrics.job_name = name
+        self.metrics.parallelism = self.parallelism
+        self.metrics.executor = self.executor.name
+        self.metrics.workers = self.executor.workers
 
     def _new_spill_stage_dir(self) -> str:
         """A fresh directory for one spill stage's run files.

@@ -88,6 +88,37 @@ class StageMetrics:
             return 1.0
         return max(times) / mean
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe rendering of the stage (raw fields plus deriveds).
+
+        This is the wire format the job server streams as live progress
+        (``GET /jobs/<id>`` → ``progress.stages``): every value is a
+        plain int/float/str/list, so ``json.dumps`` works directly and
+        no consumer ever needs to parse :meth:`describe` strings.
+        """
+        return {
+            "name": self.name,
+            "partition_seconds": list(self.partition_seconds),
+            "records_in": list(self.records_in),
+            "records_out": list(self.records_out),
+            "shuffled_records": self.shuffled_records,
+            "broadcast_records": self.broadcast_records,
+            "peak_state_cost": self.peak_state_cost,
+            "wall_seconds": self.wall_seconds,
+            "retries": self.retries,
+            "faults_injected": self.faults_injected,
+            "recovered_oom_splits": self.recovered_oom_splits,
+            "spilled_runs": self.spilled_runs,
+            "spilled_bytes": self.spilled_bytes,
+            "merge_passes": self.merge_passes,
+            "peak_state_bytes": self.peak_state_bytes,
+            "parallel_seconds": self.parallel_seconds,
+            "cpu_seconds": self.cpu_seconds,
+            "total_in": self.total_in,
+            "total_out": self.total_out,
+            "skew": self.skew,
+        }
+
     def describe(self) -> str:
         """One-line human-readable summary."""
         line = (
@@ -230,36 +261,53 @@ class JobMetrics:
             )
             self.stages.append(absorbed)
 
+    def to_dict(self) -> Dict[str, object]:
+        """The whole job as a JSON-safe dict: identity, totals, stages.
+
+        ``summary`` holds the flat headline numbers (same keys
+        :meth:`summary` has always returned); ``stages`` renders every
+        :class:`StageMetrics` through its own :meth:`StageMetrics.to_dict`.
+        The job server persists and streams exactly this structure
+        (``progress.json`` / ``metrics.json``), so progress consumers
+        never parse human-oriented :meth:`describe` output.
+        """
+        return {
+            "job_name": self.job_name,
+            "summary": {
+                "parallelism": self.parallelism,
+                "executor": self.executor,
+                "workers": self.workers,
+                "stages": len(self.stages),
+                "simulated_parallel_seconds": self.simulated_parallel_seconds,
+                "wall_clock_seconds": self.wall_clock_seconds,
+                "total_cpu_seconds": self.total_cpu_seconds,
+                "shuffled_records": self.shuffled_records,
+                "broadcast_records": self.broadcast_records,
+                "skew": self.max_skew,
+                "retries": self.total_retries,
+                "faults_injected": self.total_faults_injected,
+                "recovered_oom_splits": self.total_recovered_oom_splits,
+                "spilled_runs": self.total_spilled_runs,
+                "spilled_bytes": self.total_spilled_bytes,
+                "merge_passes": self.total_merge_passes,
+                "peak_state_bytes": self.max_peak_state_bytes,
+                "checkpoint_bytes": self.checkpoint_bytes,
+                "checkpoint_seconds": self.checkpoint_seconds,
+                "resumed_stages": self.resumed_stages,
+            },
+            "stages": [stage.to_dict() for stage in self.stages],
+        }
+
     def summary(self) -> Dict[str, float]:
         """Headline numbers as a dict (useful for benchmark rows).
 
         ``executor`` and ``workers`` identify the backend a row was
         measured on (serial and process rows are otherwise
         indistinguishable in benchmark JSON); ``skew`` is the worst
-        per-stage max/mean partition-time ratio.
+        per-stage max/mean partition-time ratio.  This is the
+        ``summary`` block of :meth:`to_dict`.
         """
-        return {
-            "parallelism": self.parallelism,
-            "executor": self.executor,
-            "workers": self.workers,
-            "stages": len(self.stages),
-            "simulated_parallel_seconds": self.simulated_parallel_seconds,
-            "wall_clock_seconds": self.wall_clock_seconds,
-            "total_cpu_seconds": self.total_cpu_seconds,
-            "shuffled_records": self.shuffled_records,
-            "broadcast_records": self.broadcast_records,
-            "skew": self.max_skew,
-            "retries": self.total_retries,
-            "faults_injected": self.total_faults_injected,
-            "recovered_oom_splits": self.total_recovered_oom_splits,
-            "spilled_runs": self.total_spilled_runs,
-            "spilled_bytes": self.total_spilled_bytes,
-            "merge_passes": self.total_merge_passes,
-            "peak_state_bytes": self.max_peak_state_bytes,
-            "checkpoint_bytes": self.checkpoint_bytes,
-            "checkpoint_seconds": self.checkpoint_seconds,
-            "resumed_stages": self.resumed_stages,
-        }
+        return dict(self.to_dict()["summary"])
 
     def describe(self) -> str:
         """Multi-line report of all stages plus totals."""

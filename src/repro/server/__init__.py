@@ -1,0 +1,40 @@
+"""Discovery-as-a-service: the long-running RDFind job server.
+
+The checkpoint subsystem (PR 5) already gives every discovery job a
+durable, fingerprinted identity — this package puts a front door on it.
+A :class:`~repro.server.routes.DiscoveryServer` accepts jobs over HTTP
+(dataset ref + ``h``/scope/variant/executor config), runs each one in a
+checkpoint-enabled worker subprocess, and serves status, live
+:class:`~repro.dataflow.metrics.JobMetrics` progress, paginated results,
+and cancellation.  Identical configurations are deduplicated through a
+result cache keyed on the same BLAKE2b ``fingerprint_fields`` scheme the
+checkpoint manifests use: a finished twin is served from cache without
+recompute, an in-flight twin is joined rather than duplicated.
+
+Layering (each module only knows the one below it)::
+
+    routes.py    HTTP surface: stdlib ThreadingHTTPServer, JSON in/out
+    service.py   admission/queueing, the worker pool, the result cache
+    store.py     durable job records + artifacts next to checkpoint dirs
+    worker.py    the per-job subprocess (checkpointed run_discovery path)
+    client.py    stdlib urllib client used by tests, CI, and scripts
+
+Stdlib-only by design — the server adds no dependency the reproduction
+does not already have.
+"""
+
+from repro.server.client import ServerClient, ServerError
+from repro.server.routes import DiscoveryServer
+from repro.server.service import JobService, ServiceConfig
+from repro.server.store import JobRecord, JobRequest, JobStore
+
+__all__ = [
+    "DiscoveryServer",
+    "JobRecord",
+    "JobRequest",
+    "JobService",
+    "JobStore",
+    "ServerClient",
+    "ServerError",
+    "ServiceConfig",
+]

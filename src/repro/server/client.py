@@ -1,0 +1,190 @@
+"""Stdlib client for the discovery job server.
+
+Used by the test suite, the CI smoke leg, and the cache benchmark — and
+small enough to crib for any script::
+
+    from repro.server.client import ServerClient
+
+    client = ServerClient("http://127.0.0.1:8745")
+    job = client.submit(dataset="Diseasome", support_threshold=10)
+    client.wait(job["id"])
+    page = client.result(job["id"], limit=20)
+
+Every method raises :class:`ServerError` (carrying the HTTP status and
+decoded error body) on a non-2xx response, so callers never parse error
+strings out of band.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional
+
+from repro.server.store import TERMINAL_STATES
+
+__all__ = ["ServerClient", "ServerError"]
+
+
+class ServerError(RuntimeError):
+    """A non-2xx server response (or an unreachable server)."""
+
+    def __init__(self, message: str, status: Optional[int] = None,
+                 payload: Optional[Dict[str, Any]] = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.payload = payload or {}
+
+    @property
+    def retry_after(self) -> Optional[int]:
+        """Server's backoff hint on a 429, in seconds."""
+        value = self.payload.get("retry_after")
+        return int(value) if value is not None else None
+
+
+class ServerClient:
+    """Minimal JSON-over-HTTP client; one instance per server."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        raw: bool = False,
+    ) -> Any:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                content = response.read()
+        except urllib.error.HTTPError as error:
+            content = error.read()
+            try:
+                payload = json.loads(content.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError):
+                payload = {"error": content.decode("utf-8", "replace")}
+            raise ServerError(
+                f"{method} {path} -> {error.code}: "
+                f"{payload.get('error', 'unknown error')}",
+                status=error.code,
+                payload=payload,
+            ) from None
+        except (urllib.error.URLError, OSError) as error:
+            raise ServerError(f"{method} {path} failed: {error}") from error
+        if raw:
+            return content
+        return json.loads(content.decode("utf-8"))
+
+    # -- endpoints -----------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def datasets(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/datasets")["datasets"]
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def submit(self, **fields: Any) -> Dict[str, Any]:
+        """Submit a job; returns the record dict with ``cache`` attached.
+
+        Fields mirror :class:`repro.server.store.JobRequest` (``dataset``
+        required; ``support_threshold``, ``scale``, ``scope``,
+        ``variant``, ``parallelism``, ``storage``, ``executor``,
+        ``workers`` optional).
+        """
+        response = self._request("POST", "/jobs", body=fields)
+        job = response["job"]
+        job["cache"] = response["cache"]
+        return job
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def result(
+        self, job_id: str, offset: int = 0, limit: Optional[int] = None
+    ) -> Dict[str, Any]:
+        query = f"?offset={offset}"
+        if limit is not None:
+            query += f"&limit={limit}"
+        return self._request("GET", f"/jobs/{job_id}/result{query}")
+
+    def raw_result(self, job_id: str) -> bytes:
+        """The full result document bytes (diffable against ``discover -o``)."""
+        return self._request("GET", f"/jobs/{job_id}/result?raw=1", raw=True)
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request("POST", f"/jobs/{job_id}/cancel", body={})["job"]
+
+    # -- polling helpers -----------------------------------------------
+
+    def wait_ready(self, timeout: float = 30.0, poll: float = 0.1) -> Dict[str, Any]:
+        """Block until /healthz answers (server boot)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.healthz()
+            except ServerError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(poll)
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 300.0,
+        poll: float = 0.1,
+        expect: str = "succeeded",
+    ) -> Dict[str, Any]:
+        """Poll until the job is terminal; returns its final status.
+
+        Raises :class:`ServerError` when the terminal state is not
+        ``expect`` (pass ``expect=None`` to accept any terminal state),
+        or on timeout.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.job(job_id)
+            if status["state"] in TERMINAL_STATES:
+                if expect is not None and status["state"] != expect:
+                    raise ServerError(
+                        f"job {job_id} ended {status['state']!r} "
+                        f"(expected {expect!r}): {status.get('error')}"
+                    )
+                return status
+            if time.monotonic() >= deadline:
+                raise ServerError(
+                    f"timed out after {timeout}s waiting for job {job_id} "
+                    f"(state {status['state']!r})"
+                )
+            time.sleep(poll)
+
+    def wait_state(
+        self, job_id: str, state: str, timeout: float = 60.0, poll: float = 0.05
+    ) -> Dict[str, Any]:
+        """Poll until the job reaches ``state`` (e.g. ``running``)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.job(job_id)
+            if status["state"] == state:
+                return status
+            if status["state"] in TERMINAL_STATES or time.monotonic() >= deadline:
+                raise ServerError(
+                    f"job {job_id} is {status['state']!r}, expected {state!r}"
+                )
+            time.sleep(poll)

@@ -67,6 +67,6 @@ class TestRendering:
             "Figure 9", "Figure 10", "Figure 11", "Figure 12", "Figure 13",
             "Figure 14", "Section 8.6", "Storage encoding",
             "Parallel scaling", "Fault recovery", "Spilling shuffle",
-            "Checkpoint/resume",
+            "Checkpoint/resume", "Server cache",
         }
         assert set(VERDICTS) == expected
