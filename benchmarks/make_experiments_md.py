@@ -174,6 +174,21 @@ VERDICTS: Dict[str, str] = {
         "the same job id. Byte-identity of the HTTP result against the "
         "CLI's `discover -o` is pinned by `tests/test_server.py`."
     ),
+    "Vectorized kernels": (
+        "**Verdict — execution strategy only, output byte-identical "
+        "(asserted).** Not a paper experiment — this characterizes the "
+        "batch-kernel layer and the cost-based stage planner. Forcing "
+        "every kernel (`--planner static`) fuses the hot operator chains "
+        "over columnar id batches — Bloom probes and capture construction "
+        "cached per distinct id — for a ~1.9× end-to-end speedup on "
+        "full-size Diseasome at h=10; the adaptive planner reaches the "
+        "same decisions from its cost model (records floors, observed "
+        "reduction ratios) and lands within noise of static. Every "
+        "decision is stamped into the stage metrics, and all planned "
+        "runs serialize byte-identically to the record-at-a-time oracle "
+        "(pinned across executors and shuffle planes by "
+        "`tests/test_planner.py`)."
+    ),
     "Parallel scaling": (
         "**Verdict — infrastructure landed; speedup is hardware-gated.** "
         "The process executor produces byte-identical CINDs/ARs to serial "
@@ -204,6 +219,7 @@ def extract_sections(log_text: str) -> List[Tuple[str, List[str]]]:
                 "Figure",
                 "Section",
                 "Storage",
+                "Vectorized",
                 "Parallel",
                 "Fault",
                 "Spilling",

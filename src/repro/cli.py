@@ -167,6 +167,15 @@ def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
         help="per-task wall-clock bound under --executor process; a hung "
         "task becomes a retryable transient fault (default: no bound)",
     )
+    parser.add_argument(
+        "--planner", choices=("off", "static", "adaptive"), default=None,
+        help="cost-based stage planning: 'static' always picks the "
+        "vectorized batch kernels, 'adaptive' chooses per stage from "
+        "input sizes and calibrated costs (kernel vs record path, "
+        "combiner, shuffle plane, batch count); output is byte-identical "
+        "either way and decisions show up in the metrics summary "
+        "(default: off)",
+    )
 
 
 def _apply_executor_flags(args: argparse.Namespace) -> None:
@@ -176,7 +185,8 @@ def _apply_executor_flags(args: argparse.Namespace) -> None:
     RDFIND_FAULTS / RDFIND_MAX_RETRIES / RDFIND_OOM_RECOVERY /
     RDFIND_SHUFFLE / RDFIND_MEMORY_BUDGET_BYTES / RDFIND_SPILL_DIR /
     RDFIND_CHECKPOINT / RDFIND_CHECKPOINT_DIR / RDFIND_RESUME /
-    RDFIND_CRASH_POINT / RDFIND_TASK_TIMEOUT_SECONDS as its defaults, so
+    RDFIND_CRASH_POINT / RDFIND_TASK_TIMEOUT_SECONDS / RDFIND_PLANNER as
+    its defaults, so
     setting the environment here makes the choice reach every config the
     subcommands build internally (funnel, profile, rank, ...).
     """
@@ -210,6 +220,8 @@ def _apply_executor_flags(args: argparse.Namespace) -> None:
         os.environ["RDFIND_TASK_TIMEOUT_SECONDS"] = str(
             args.task_timeout_seconds
         )
+    if getattr(args, "planner", None):
+        os.environ["RDFIND_PLANNER"] = args.planner
 
 
 def _require_writable_dir(path: str, *, flag: str) -> None:
@@ -285,6 +297,19 @@ def cmd_discover(args: argparse.Namespace) -> int:
             f"fault tolerance: {metrics.total_faults_injected} faults injected, "
             f"{metrics.total_retries} task retries, "
             f"{metrics.total_recovered_oom_splits} OOM splits recovered"
+        )
+    if metrics.planner != "off" and metrics.planner_decisions:
+        choices = sorted(
+            {
+                stage.planner_choice
+                for stage in metrics.stages
+                if stage.planner_choice
+            }
+        )
+        print(
+            f"planner: {metrics.planner}, "
+            f"{metrics.planner_decisions} stage decisions "
+            f"({', '.join(choices)})"
         )
     if metrics.checkpoint_bytes or metrics.resumed_stages:
         print(

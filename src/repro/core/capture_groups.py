@@ -127,6 +127,7 @@ def create_capture_groups(
     triples: DataSet,
     scope: Optional[ConditionScope] = None,
     frequent: Optional[FrequentConditions] = None,
+    batches: Optional[DataSet] = None,
 ) -> DataSet:
     """Run the CGCreator: evidences → grouped and expanded capture groups.
 
@@ -144,17 +145,42 @@ def create_capture_groups(
     frequent:
         FCDetector output; ``None`` disables the frequent-condition
         pruning (the RDFind-NF ablation).
+    batches:
+        Optional column-batch dataset over the same triples (one
+        :class:`~repro.storage.columnar.TripleBatch` per partition, same
+        round-robin layout).  When given, Algorithm 2 runs as the fused
+        batch kernel — evidence emission and the grouping combiner in one
+        pass, Bloom probes and capture construction cached per distinct
+        id — instead of the ``flat_map`` + ``reduce_by_key`` record
+        chain.  Both paths emit identical evidences in identical order,
+        so the grouped output is byte-identical.
     """
     scope = scope if scope is not None else ConditionScope.full()
-    evidences = triples.flat_map(
-        _EvidenceEmitter(scope, frequent), name="cg/evidences"
-    )
-    grouped = evidences.reduce_by_key(
-        key_fn=pair_key,
-        value_fn=_singleton_capture_set,
-        reduce_fn=_merge_sets,
-        name="cg/group-by-value",
-    )
+    if batches is not None:
+        from repro.dataflow.kernels import EvidenceBatchKernel
+
+        grouped = batches.flat_map_reduce_by_key(
+            EvidenceBatchKernel(scope, frequent),
+            _merge_sets,
+            name="cg/group-by-value",
+        )
+        planner = getattr(env, "planner", None)
+        if planner is not None:
+            planner.annotate(
+                env.metrics,
+                "cg/group-by-value",
+                planner.plan_kernel("cg/group-by-value", triples._total_records()),
+            )
+    else:
+        evidences = triples.flat_map(
+            _EvidenceEmitter(scope, frequent), name="cg/evidences"
+        )
+        grouped = evidences.reduce_by_key(
+            key_fn=pair_key,
+            value_fn=_singleton_capture_set,
+            reduce_fn=_merge_sets,
+            name="cg/group-by-value",
+        )
     # Round-robin the groups before the expensive per-group work: the hash
     # partitioning above clusters by value, so the few very large groups
     # (paper Section 7.1: they emerge from values like rdf:type) would

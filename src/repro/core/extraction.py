@@ -153,12 +153,39 @@ def extract_broad_cinds(
     # materialized.  The combiner *state* (one referenced set per
     # dependent capture seen so far) is what the memory budget prices —
     # exactly the footprint that kills RDFind-DE on dominant groups.
-    merged = groups.flat_map_reduce_by_key(
-        _CandidateEmitter(config, average_load),
-        _merge_candidate_values,
-        state_cost_fn=_candidate_state_cost,
-        name="ex/merge-candidates",
-    )
+    #
+    # When the stage planner picks the vectorized path, non-dominant
+    # groups emit the group frozenset itself as the initial reference set
+    # (shared, not copied per dependent — the per-group difference() loop
+    # is quadratic in group size) and a materialize step removes each
+    # dependent from its own final set, restoring the oracle's values
+    # exactly (see _materialize_shared_refs).
+    planner = env.planner
+    kernel_plan = None
+    if planner is not None and planner.active:
+        kernel_plan = planner.plan_kernel(
+            "ex/merge-candidates", stats.groups_after_pruning or stats.groups_total
+        )
+    if kernel_plan is not None and kernel_plan.use_kernel:
+        # No state pricing on this path: kernels only run without a
+        # record-count budget, and per-dependent pricing would bill the
+        # shared group frozenset once per dependent — the very copy the
+        # emitter avoids.  peak_state_cost degrades to the dependent
+        # count here.
+        merged = groups.flat_map_reduce_by_key(
+            _SharedRefsCandidateEmitter(config, average_load),
+            _merge_candidate_values,
+            name="ex/merge-candidates",
+        ).map(_materialize_shared_refs, name="ex/materialize-refs")
+    else:
+        merged = groups.flat_map_reduce_by_key(
+            _CandidateEmitter(config, average_load),
+            _merge_candidate_values,
+            state_cost_fn=_candidate_state_cost,
+            name="ex/merge-candidates",
+        )
+    if kernel_plan is not None:
+        planner.annotate(env.metrics, "ex/merge-candidates", kernel_plan)
     stats.max_partition_ref_cells = (
         env.metrics.stage_by_name("ex/merge-candidates").peak_state_cost
     )
@@ -239,14 +266,35 @@ def _prune_capture_support(
     config: ExtractionConfig,
     stats: ExtractionStats,
 ) -> DataSet:
-    supports = groups.flat_map(
-        _emit_capture_counters, name="ex/capture-counters"
-    ).reduce_by_key(
-        key_fn=pair_key,
-        value_fn=pair_value,
-        reduce_fn=operator.add,
-        name="ex/capture-support",
-    )
+    # The planner may fuse the counter flat_map into the keyed reduction:
+    # the per-capture (capture, 1) records are folded into the combiner as
+    # they are produced instead of being materialized first.  The fused
+    # combiner sees the same pairs in the same order, so the aggregated
+    # supports are byte-identical.
+    planner = getattr(env, "planner", None)
+    fuse_plan = None
+    if planner is not None and planner.active:
+        fuse_plan = planner.plan_kernel(
+            "ex/capture-support", groups._total_records()
+        )
+    if fuse_plan is not None and fuse_plan.use_kernel:
+        supports = groups.flat_map_reduce_by_key(
+            _emit_capture_counters,
+            operator.add,
+            name="ex/capture-support",
+        )
+    else:
+        supports = groups.flat_map(
+            _emit_capture_counters, name="ex/capture-counters"
+        ).reduce_by_key(
+            key_fn=pair_key,
+            value_fn=pair_value,
+            reduce_fn=operator.add,
+            name="ex/capture-support",
+            order_insensitive=True,
+        )
+    if fuse_plan is not None:
+        planner.annotate(env.metrics, "ex/capture-support", fuse_plan)
     stats.captures_total = supports.count()
     prunable = frozenset(
         supports.filter(
@@ -317,6 +365,60 @@ class _CandidateEmitter:
         else:
             for capture in group:
                 yield capture, (group.difference((capture,)), 1, False)
+
+
+class _SharedRefsCandidateEmitter:
+    """Vectorized candidate-set producer: shared initial reference sets.
+
+    Identical to :class:`_CandidateEmitter` for dominant groups (those
+    already share one Bloom filter).  For regular groups the oracle emits
+    ``G − {c}`` per dependent ``c`` — a fresh frozenset each, quadratic
+    allocation per group — while this emitter shares the group itself as
+    every dependent's initial reference set.  After merging, a candidate's
+    reference set differs from the oracle's only by containing its own
+    dependent: every value merged under key ``c`` came from a group (or a
+    dominant group's Bloom filter, which has no false negatives)
+    containing ``c``, so ``c`` survives every exact intersection and every
+    Bloom probe.  :func:`_materialize_shared_refs` removes it and
+    recomputes the approx flag, restoring the oracle's output exactly.
+    """
+
+    __slots__ = ("bloom_bits", "bloom_hashes", "average_load")
+
+    def __init__(self, config: ExtractionConfig, average_load: float) -> None:
+        self.bloom_bits = config.candidate_bloom_bits
+        self.bloom_hashes = config.candidate_bloom_hashes
+        self.average_load = average_load
+
+    def __call__(
+        self, group: FrozenSet[Capture]
+    ) -> Iterator[Tuple[Capture, CandidateValue]]:
+        size = len(group)
+        if size * size > self.average_load:
+            bloom = BloomFilter(self.bloom_bits, self.bloom_hashes)
+            bloom.update(group)
+            for capture in group:
+                yield capture, (bloom, 1, True)
+        else:
+            for capture in group:
+                yield capture, (group, 1, False)
+
+
+def _materialize_shared_refs(pair):
+    """Remove a candidate's own dependent from its shared reference set.
+
+    Exact reference sets produced by :class:`_SharedRefsCandidateEmitter`
+    are the oracle's sets plus the dependent capture itself; Bloom-valued
+    sets are already identical (the oracle shares the full-group filter
+    too).  The approx flag is recomputed against the corrected set so the
+    empty-set → certain collapse (Algorithm 3, line 10) matches the
+    oracle's merge-time behaviour.
+    """
+    dependent, (refs, count, approx) = pair
+    if not isinstance(refs, BloomFilter):
+        refs = refs.difference((dependent,))
+    approx = approx and not _refs_empty(refs)
+    return dependent, (refs, count, approx)
 
 
 def _candidate_state_cost(value: CandidateValue) -> int:

@@ -237,6 +237,80 @@ def _columnar_binary_counts(
     return counts
 
 
+def _last_stage(env: ExecutionEnvironment, name: str):
+    """Most recent stage with ``name`` (the one the planner just shaped)."""
+    for stage in reversed(env.metrics.stages):
+        if stage.name == name:
+            return stage
+    return None
+
+
+def _plan_unary_counts(
+    env: ExecutionEnvironment,
+    columns: EncodedDataset,
+    scope: ConditionScope,
+    h: int,
+) -> Dict[UnaryCondition, int]:
+    """Columnar counting with planner dispatch (steps 1-2).
+
+    When a stage planner is attached and picks the batch kernel, the scan
+    runs as a ``reduce_partitions`` over column batches on the executor
+    (real cores under the process backend); otherwise the single-threaded
+    driver scan runs.  Both produce the same counts, so downstream output
+    is byte-identical either way — the planner only trades wall-clock.
+    """
+    planner = getattr(env, "planner", None)
+    if planner is None or not planner.active:
+        return _columnar_unary_counts(env, columns, scope, h)
+    records = len(columns) * len(scope.condition_attrs)
+    plan = planner.plan_kernel("fc/unary-columnar", records)
+    if plan.use_kernel:
+        from repro.dataflow.kernels import batch_dataset, unary_counts_kernel
+
+        split = planner.plan_partitions("fc/unary-columnar", records)
+        batches = batch_dataset(
+            env, columns, split.partitions, name="fc/unary-batches"
+        )
+        counts = unary_counts_kernel(env, batches, scope, h)
+    else:
+        counts = _columnar_unary_counts(env, columns, scope, h)
+    planner.annotate(env.metrics, "fc/unary-columnar", plan)
+    stage = _last_stage(env, "fc/unary-columnar")
+    if stage is not None:
+        planner.observe(stage)
+    return counts
+
+
+def _plan_binary_counts(
+    env: ExecutionEnvironment,
+    columns: EncodedDataset,
+    scope: ConditionScope,
+    unary_bloom: BloomFilter,
+    h: int,
+) -> Dict[BinaryCondition, int]:
+    """Columnar Algorithm 1 with planner dispatch (steps 6-7)."""
+    planner = getattr(env, "planner", None)
+    if planner is None or not planner.active:
+        return _columnar_binary_counts(env, columns, scope, unary_bloom, h)
+    records = len(columns) * len(scope.condition_attrs)
+    plan = planner.plan_kernel("fc/binary-columnar", records)
+    if plan.use_kernel:
+        from repro.dataflow.kernels import batch_dataset, binary_counts_kernel
+
+        split = planner.plan_partitions("fc/binary-columnar", records)
+        batches = batch_dataset(
+            env, columns, split.partitions, name="fc/binary-batches"
+        )
+        counts = binary_counts_kernel(env, batches, scope, unary_bloom, h)
+    else:
+        counts = _columnar_binary_counts(env, columns, scope, unary_bloom, h)
+    planner.annotate(env.metrics, "fc/binary-columnar", plan)
+    stage = _last_stage(env, "fc/binary-columnar")
+    if stage is not None:
+        planner.observe(stage)
+    return counts
+
+
 def _local_bloom(
     capacity: int, fp_rate: float, partition: List[Tuple[Condition, int]]
 ) -> BloomFilter:
@@ -272,6 +346,7 @@ def _dataflow_unary_counts(
         value_fn=pair_value,
         reduce_fn=operator.add,
         name="fc/unary-aggregate",
+        order_insensitive=True,
     )
     frequent_unary = unary_counters.filter(
         partial(_count_at_least, h), name="fc/unary-filter"
@@ -295,6 +370,7 @@ def _dataflow_binary_counts(
         value_fn=pair_value,
         reduce_fn=operator.add,
         name="fc/binary-aggregate",
+        order_insensitive=True,
     )
     frequent_binary = binary_counters.filter(
         partial(_count_at_least, h), name="fc/binary-filter"
@@ -314,7 +390,7 @@ def _unary_counts_only(
 ) -> Dict[UnaryCondition, int]:
     """The fc/unary checkpoint boundary's value: just the counts dict."""
     if columns is not None:
-        return _columnar_unary_counts(env, columns, scope, h)
+        return _plan_unary_counts(env, columns, scope, h)
     return _dataflow_unary_counts(env, triples, scope, h)[0]
 
 
@@ -328,7 +404,7 @@ def _binary_counts_only(
 ) -> Dict[BinaryCondition, int]:
     """The fc/binary checkpoint boundary's value: just the counts dict."""
     if columns is not None:
-        return _columnar_binary_counts(env, columns, scope, unary_bloom, h)
+        return _plan_binary_counts(env, columns, scope, unary_bloom, h)
     return _dataflow_binary_counts(env, triples, scope, unary_bloom, h)[0]
 
 
@@ -388,7 +464,7 @@ def detect_frequent_conditions(
             unary_counts.items(), name="fc/unary-frequent"
         )
     elif columns is not None:
-        unary_counts = _columnar_unary_counts(env, columns, scope, h)
+        unary_counts = _plan_unary_counts(env, columns, scope, h)
         frequent_unary = env.from_collection(
             unary_counts.items(), name="fc/unary-frequent"
         )
@@ -425,7 +501,7 @@ def detect_frequent_conditions(
                 binary_counts.items(), name="fc/binary-frequent"
             )
         elif columns is not None:
-            binary_counts = _columnar_binary_counts(
+            binary_counts = _plan_binary_counts(
                 env, columns, scope, unary_bloom, h
             )
             frequent_binary = env.from_collection(

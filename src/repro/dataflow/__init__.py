@@ -27,6 +27,13 @@ buckets in memory (the reference), the ``spill`` shuffle cuts sorted,
 CRC-framed runs to disk under a byte-accurate memory budget and merges
 them reduce-side — bounded memory on arbitrarily large buckets, again
 with byte-identical output.
+
+*How* a stage executes is pluggable as well
+(:mod:`repro.dataflow.planner` and :mod:`repro.dataflow.kernels`): a
+cost-based stage planner may swap the record-at-a-time operator chains of
+the hot stages for fused, vectorized batch kernels over columnar id
+slices, toggle combiners, switch the shuffle plane, or re-slice batch
+counts — per stage, from calibrated costs, always byte-identically.
 """
 
 from repro.dataflow.bloom import BloomFilter
@@ -59,7 +66,9 @@ from repro.dataflow.faults import (
     SimulatedWorkerCrash,
     TaskTimeoutError,
 )
+from repro.dataflow.gcpause import gc_paused, stage_gc_pause
 from repro.dataflow.metrics import JobMetrics, StageMetrics
+from repro.dataflow.planner import PLANNER_MODES, StagePlan, StagePlanner
 from repro.dataflow.shuffle import (
     SHUFFLE_MODES,
     MemoryBudget,
@@ -93,6 +102,11 @@ __all__ = [
     "SimulatedWorkerCrash",
     "JobMetrics",
     "StageMetrics",
+    "PLANNER_MODES",
+    "StagePlan",
+    "StagePlanner",
+    "gc_paused",
+    "stage_gc_pause",
     "SHUFFLE_MODES",
     "MemoryBudget",
     "RunInfo",

@@ -160,6 +160,28 @@ class BloomFilter:
         bits = self._bits
         return all(bits[i >> 3] & (1 << (i & 7)) for i in self._indexes(item))
 
+    def contains_int_key(self, item: Any) -> bool:
+        """Membership test for a key KNOWN to be ints/tuples-of-ints.
+
+        Exactly ``item in self`` for such keys — same hash pair, same
+        probe positions — minus the per-probe key-type dispatch and
+        generator machinery, which dominate the probe cost on the hot
+        paths (the batch kernels probe conditions built from encoded term
+        ids, so the precondition holds by construction).  Calling this
+        with str/bytes-bearing keys silently computes *wrong* (and
+        ``PYTHONHASHSEED``-dependent) positions; use ``in`` when the key
+        type is not statically known.
+        """
+        h1 = _mix64(hash(item))
+        h2 = _mix64(h1 ^ _GOLDEN) | 1
+        bits = self._bits
+        num_bits = self.num_bits
+        for i in range(self.num_hashes):
+            index = (h1 + i * h2) % num_bits
+            if not bits[index >> 3] & (1 << (index & 7)):
+                return False
+        return True
+
     def _check_compatible(self, other: "BloomFilter") -> None:
         if self.num_bits != other.num_bits or self.num_hashes != other.num_hashes:
             raise ValueError("incompatible Bloom filter geometries")

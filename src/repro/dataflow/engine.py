@@ -104,6 +104,7 @@ from repro.dataflow.faults import (
     RetryPolicy,
     SimulatedOutOfMemory,
 )
+from repro.dataflow.gcpause import stage_gc_pause
 from repro.dataflow.hashing import _mix_int, hash_partition, stable_hash
 from repro.dataflow.metrics import JobMetrics, StageMetrics
 from repro.dataflow.shuffle import (
@@ -159,7 +160,16 @@ def record_cells(record: Any) -> int:
     string is charged by its length in 8-byte words — the width ratio
     that makes encoded and raw-string records comparable under one
     budget.
+
+    Batch records price themselves: an object exposing ``budget_cells``
+    (e.g. :class:`repro.storage.columnar.TripleBatch`, 3 cells per
+    triple) is charged that — the same cells its triples would cost as an
+    ``EncodedTriple`` stream, so budget accounting is representation-
+    independent.
     """
+    cells = getattr(record, "budget_cells", None)
+    if cells is not None:
+        return cells
     if isinstance(record, int):
         return 1
     if isinstance(record, str):
@@ -214,55 +224,69 @@ def _combine_shuffle_task(payload):
     """Local pre-aggregation + bucket split of ``reduce_by_key``."""
     key_fn, value_fn, reduce_fn, combine, parallelism, budget, stage, partition = payload
     start = time.perf_counter()
-    if combine:
-        local: Dict[Any, Any] = {}
-        for item in partition:
-            key = key_fn(item)
-            value = value_fn(item)
-            if key in local:
-                local[key] = reduce_fn(local[key], value)
-            else:
-                local[key] = value
-        if budget is not None and len(local) > budget:
-            raise SimulatedOutOfMemory(stage, len(local), budget)
-        pairs: Iterable[Tuple[Any, Any]] = local.items()
-        emitted = len(local)
-    else:
-        pairs = [(key_fn(item), value_fn(item)) for item in partition]
-        emitted = len(partition)
-    buckets: List[List[Tuple[Any, Any]]] = [[] for _ in range(parallelism)]
-    for key, value in pairs:
-        buckets[_hash_partition(key, parallelism)].append((key, value))
-    return buckets, emitted, time.perf_counter() - start
+    with stage_gc_pause() as pause:
+        if combine:
+            local: Dict[Any, Any] = {}
+            for item in partition:
+                key = key_fn(item)
+                value = value_fn(item)
+                if key in local:
+                    local[key] = reduce_fn(local[key], value)
+                else:
+                    local[key] = value
+            if budget is not None and len(local) > budget:
+                raise SimulatedOutOfMemory(stage, len(local), budget)
+            pairs: Iterable[Tuple[Any, Any]] = local.items()
+            emitted = len(local)
+        else:
+            pairs = [(key_fn(item), value_fn(item)) for item in partition]
+            emitted = len(partition)
+        buckets: List[List[Tuple[Any, Any]]] = [[] for _ in range(parallelism)]
+        for key, value in pairs:
+            buckets[_hash_partition(key, parallelism)].append((key, value))
+    return buckets, emitted, pause.suppressed, time.perf_counter() - start
 
 
 def _fused_combine_shuffle_task(payload):
     """Fused flatMap + local combine + bucket split (operator chaining)."""
     flat_fn, reduce_fn, state_cost_fn, parallelism, budget, stage, partition = payload
     start = time.perf_counter()
-    local: Dict[Any, Any] = {}
-    state_cost = 0
-    for item in partition:
-        for key, value in flat_fn(item):
-            previous = local.get(key)
-            if previous is None:
-                local[key] = value
-                if state_cost_fn is not None:
-                    state_cost += state_cost_fn(value)
-            else:
-                merged = reduce_fn(previous, value)
-                local[key] = merged
-                if state_cost_fn is not None:
-                    state_cost += state_cost_fn(merged) - state_cost_fn(previous)
-            if budget is not None:
-                used = state_cost if state_cost_fn is not None else len(local)
-                if used > budget:
-                    raise SimulatedOutOfMemory(stage, used, budget)
-    peak = state_cost if state_cost_fn is not None else len(local)
-    buckets: List[List[Tuple[Any, Any]]] = [[] for _ in range(parallelism)]
-    for key, value in local.items():
-        buckets[_hash_partition(key, parallelism)].append((key, value))
-    return buckets, len(local), peak, time.perf_counter() - start
+    with stage_gc_pause() as pause:
+        local: Dict[Any, Any] = {}
+        state_cost = 0
+        if state_cost_fn is None and budget is None:
+            # Unpriced, unbudgeted fast path (the batch kernels' case):
+            # same fold, same insertion order, no per-pair branch work.
+            local_get = local.get
+            for item in partition:
+                for key, value in flat_fn(item):
+                    previous = local_get(key)
+                    if previous is None:
+                        local[key] = value
+                    else:
+                        local[key] = reduce_fn(previous, value)
+        else:
+            for item in partition:
+                for key, value in flat_fn(item):
+                    previous = local.get(key)
+                    if previous is None:
+                        local[key] = value
+                        if state_cost_fn is not None:
+                            state_cost += state_cost_fn(value)
+                    else:
+                        merged = reduce_fn(previous, value)
+                        local[key] = merged
+                        if state_cost_fn is not None:
+                            state_cost += state_cost_fn(merged) - state_cost_fn(previous)
+                    if budget is not None:
+                        used = state_cost if state_cost_fn is not None else len(local)
+                        if used > budget:
+                            raise SimulatedOutOfMemory(stage, used, budget)
+        peak = state_cost if state_cost_fn is not None else len(local)
+        buckets: List[List[Tuple[Any, Any]]] = [[] for _ in range(parallelism)]
+        for key, value in local.items():
+            buckets[_hash_partition(key, parallelism)].append((key, value))
+    return buckets, len(local), peak, pause.suppressed, time.perf_counter() - start
 
 
 def _fused_nocombine_shuffle_task(payload):
@@ -277,13 +301,14 @@ def _fused_nocombine_shuffle_task(payload):
     """
     flat_fn, _reduce_fn, _state_cost_fn, parallelism, _budget, _stage, partition = payload
     start = time.perf_counter()
-    buckets: List[List[Tuple[Any, Any]]] = [[] for _ in range(parallelism)]
-    emitted = 0
-    for item in partition:
-        for key, value in flat_fn(item):
-            buckets[_hash_partition(key, parallelism)].append((key, value))
-            emitted += 1
-    return buckets, emitted, 0, time.perf_counter() - start
+    with stage_gc_pause() as pause:
+        buckets: List[List[Tuple[Any, Any]]] = [[] for _ in range(parallelism)]
+        emitted = 0
+        for item in partition:
+            for key, value in flat_fn(item):
+                buckets[_hash_partition(key, parallelism)].append((key, value))
+                emitted += 1
+    return buckets, emitted, 0, pause.suppressed, time.perf_counter() - start
 
 
 #: Salt decorrelating the OOM sub-bucket routing from the primary
@@ -320,15 +345,16 @@ def _reduce_bucket_task(payload):
     """The post-shuffle reduction of one key bucket."""
     reduce_fn, budget, stage, bucket = payload
     start = time.perf_counter()
-    grouped: Dict[Any, Any] = {}
-    for key, value in bucket:
-        if key in grouped:
-            grouped[key] = reduce_fn(grouped[key], value)
-        else:
-            grouped[key] = value
-    if budget is not None and len(grouped) > budget:
-        raise SimulatedOutOfMemory(stage, len(grouped), budget)
-    return list(grouped.items()), time.perf_counter() - start
+    with stage_gc_pause() as pause:
+        grouped: Dict[Any, Any] = {}
+        for key, value in bucket:
+            if key in grouped:
+                grouped[key] = reduce_fn(grouped[key], value)
+            else:
+                grouped[key] = value
+        if budget is not None and len(grouped) > budget:
+            raise SimulatedOutOfMemory(stage, len(grouped), budget)
+    return list(grouped.items()), pause.suppressed, time.perf_counter() - start
 
 
 def _keyed_shuffle_task(payload):
@@ -346,38 +372,40 @@ def _group_bucket_task(payload):
     """Materialize one bucket's ``(key, [records])`` groups."""
     budget, stage, bucket = payload
     start = time.perf_counter()
-    if budget is not None and len(bucket) > budget:
-        raise SimulatedOutOfMemory(stage, len(bucket), budget)
-    grouped: Dict[Any, List[Any]] = {}
-    for key, item in bucket:
-        grouped.setdefault(key, []).append(item)
-    return list(grouped.items()), time.perf_counter() - start
+    with stage_gc_pause() as pause:
+        if budget is not None and len(bucket) > budget:
+            raise SimulatedOutOfMemory(stage, len(bucket), budget)
+        grouped: Dict[Any, List[Any]] = {}
+        for key, item in bucket:
+            grouped.setdefault(key, []).append(item)
+    return list(grouped.items()), pause.suppressed, time.perf_counter() - start
 
 
 def _co_group_apply_task(payload):
     """Group both sides of one bucket pair and apply the join function."""
     fn, budget, stage, left_bucket, right_bucket = payload
     start = time.perf_counter()
-    if budget is not None and len(left_bucket) + len(right_bucket) > budget:
-        raise SimulatedOutOfMemory(
-            stage, len(left_bucket) + len(right_bucket), budget
-        )
-    left_groups: Dict[Any, List[Any]] = {}
-    for key, item in left_bucket:
-        left_groups.setdefault(key, []).append(item)
-    right_groups: Dict[Any, List[Any]] = {}
-    for key, item in right_bucket:
-        right_groups.setdefault(key, []).append(item)
-    result: List[Any] = []
-    # Deterministic key order (left insertion order, then right-only keys)
-    # instead of set union — set iteration order would leak the process's
-    # hash seed into the output order.
-    for key in left_groups:
-        result.extend(fn(key, left_groups[key], right_groups.get(key, [])))
-    for key in right_groups:
-        if key not in left_groups:
-            result.extend(fn(key, [], right_groups[key]))
-    return result, time.perf_counter() - start
+    with stage_gc_pause() as pause:
+        if budget is not None and len(left_bucket) + len(right_bucket) > budget:
+            raise SimulatedOutOfMemory(
+                stage, len(left_bucket) + len(right_bucket), budget
+            )
+        left_groups: Dict[Any, List[Any]] = {}
+        for key, item in left_bucket:
+            left_groups.setdefault(key, []).append(item)
+        right_groups: Dict[Any, List[Any]] = {}
+        for key, item in right_bucket:
+            right_groups.setdefault(key, []).append(item)
+        result: List[Any] = []
+        # Deterministic key order (left insertion order, then right-only keys)
+        # instead of set union — set iteration order would leak the process's
+        # hash seed into the output order.
+        for key in left_groups:
+            result.extend(fn(key, left_groups[key], right_groups.get(key, [])))
+        for key in right_groups:
+            if key not in left_groups:
+                result.extend(fn(key, [], right_groups[key]))
+    return result, pause.suppressed, time.perf_counter() - start
 
 
 def _local_reduce_task(payload):
@@ -492,6 +520,12 @@ class ExecutionEnvironment:
         #: plain attribute: repro.dataflow.checkpoint must stay importable
         #: without the engine and vice versa).
         self.checkpoint = None
+        #: Optional StagePlanner the discovery facade attaches
+        #: (repro.dataflow.planner): keyed operators consult it for
+        #: per-stage combine and shuffle decisions, pipeline code for
+        #: kernel-vs-record decisions.  Plain attribute for the same
+        #: import-independence reason as ``checkpoint``.
+        self.planner = None
         self.executor = create_executor(
             executor,
             self.parallelism,
@@ -581,6 +615,48 @@ class ExecutionEnvironment:
                 self._check_budget(name, cost)
         return DataSet(self, partitions, name=name)
 
+    def from_batches(
+        self,
+        batches: Sequence[T],
+        sizes: Sequence[int],
+        name: str = "source/batches",
+        cost_fn: Optional[Callable[[T], int]] = None,
+    ) -> "DataSet[T]":
+        """Create a dataset of one pre-built batch per worker.
+
+        Each partition holds exactly one batch object (e.g. a
+        :class:`~repro.storage.columnar.TripleBatch`); ``sizes`` declares
+        how many *logical* records each batch stands for, so stage
+        accounting and the process backend's inline threshold see the
+        real record volume rather than "one record per partition".
+        ``cost_fn`` charges each batch against the memory budget, exactly
+        as :meth:`from_collection` charges materialized sources.
+        """
+        if len(batches) != self.parallelism:
+            raise ValueError(
+                f"expected {self.parallelism} batches (one per worker), "
+                f"got {len(batches)}"
+            )
+        if len(sizes) != len(batches):
+            raise ValueError(
+                f"sizes ({len(sizes)}) must match batches ({len(batches)})"
+            )
+        stage = self.metrics.new_stage(name)
+        stage.partition_seconds = [0.0] * self.parallelism
+        stage.records_in = [int(size) for size in sizes]
+        stage.records_out = [int(size) for size in sizes]
+        if cost_fn is not None:
+            for batch in batches:
+                cost = cost_fn(batch)
+                stage.peak_state_cost = max(stage.peak_state_cost, cost)
+                self._check_budget(name, cost)
+        return DataSet(
+            self,
+            [[batch] for batch in batches],
+            name=name,
+            logical_sizes=[int(size) for size in sizes],
+        )
+
     def from_partitions(
         self, partitions: Sequence[Sequence[T]], name: str = "source"
     ) -> "DataSet[T]":
@@ -610,20 +686,33 @@ class ExecutionEnvironment:
 class DataSet(Generic[T]):
     """An immutable, partitioned collection plus the operators over it."""
 
-    __slots__ = ("env", "partitions", "name")
+    __slots__ = ("env", "partitions", "name", "logical_sizes")
 
     def __init__(
         self,
         env: ExecutionEnvironment,
         partitions: List[List[T]],
         name: str = "dataset",
+        logical_sizes: Optional[List[int]] = None,
     ) -> None:
         self.env = env
         self.partitions = partitions
         self.name = name
+        #: For batch datasets (one columnar batch per partition): how many
+        #: logical records each partition's batch stands for.  ``None``
+        #: means the partitions hold plain records and size is their
+        #: length.  Keeps record accounting — and the process backend's
+        #: inline threshold — honest when a partition's ``len`` is 1.
+        self.logical_sizes = logical_sizes
+
+    def _partition_sizes(self) -> List[int]:
+        """Logical record count per partition (batch-aware)."""
+        if self.logical_sizes is not None:
+            return list(self.logical_sizes)
+        return [len(partition) for partition in self.partitions]
 
     def _total_records(self) -> int:
-        return sum(len(partition) for partition in self.partitions)
+        return sum(self._partition_sizes())
 
     def _run_stage(
         self,
@@ -704,11 +793,12 @@ class DataSet(Generic[T]):
             for worker, partition in enumerate(self.partitions)
         ]
         out: List[List[U]] = []
-        for partition, (result, elapsed) in zip(
-            self.partitions, self._run_stage(stage, _map_partition_task, payloads, records=self._total_records())
+        for size, (result, elapsed) in zip(
+            self._partition_sizes(),
+            self._run_stage(stage, _map_partition_task, payloads, records=self._total_records()),
         ):
             stage.partition_seconds.append(elapsed)
-            stage.records_in.append(len(partition))
+            stage.records_in.append(size)
             stage.records_out.append(len(result))
             out.append(result)
         return DataSet(self.env, out, name=name)
@@ -772,12 +862,13 @@ class DataSet(Generic[T]):
                 break
             except SimulatedOutOfMemory:
                 factor = self._next_split_factor(stage, factor)
-        for sub_bucket, (result, elapsed) in zip(sub_buckets, results):
+        for sub_bucket, (result, suppressed, elapsed) in zip(sub_buckets, results):
             stage.partition_seconds.append(elapsed)
             stage.records_in.append(len(sub_bucket))
             stage.records_out.append(len(result))
+            stage.gc_suppressed_collections += suppressed
         out: List[List[Any]] = [[] for _ in buckets]
-        for index, (result, _elapsed) in enumerate(results):
+        for index, (result, _suppressed, _elapsed) in enumerate(results):
             out[index // factor].extend(result)
         return out
 
@@ -882,7 +973,7 @@ class DataSet(Generic[T]):
                 _shuffle._spill_combine_map_task,
                 payloads,
                 self._total_records(),
-                [len(p) for p in self.partitions],
+                self._partition_sizes(),
             )
             reduce_stage = env.metrics.new_stage(name + "/reduce")
             out = self._run_spill_merge_stage(
@@ -928,7 +1019,7 @@ class DataSet(Generic[T]):
                 _shuffle._spill_fused_map_task,
                 payloads,
                 self._total_records(),
-                [len(p) for p in self.partitions],
+                self._partition_sizes(),
             )
             reduce_stage = env.metrics.new_stage(name + "/reduce")
             out = self._run_spill_merge_stage(
@@ -1055,6 +1146,7 @@ class DataSet(Generic[T]):
         reduce_fn: Callable[[V, V], V],
         combine: bool = True,
         name: str = "reduce_by_key",
+        order_insensitive: bool = False,
     ) -> "DataSet[Tuple[K, V]]":
         """Hash-partitioned keyed reduction producing ``(key, value)`` pairs.
 
@@ -1063,6 +1155,12 @@ class DataSet(Generic[T]):
         partition before the shuffle, which shrinks shuffle volume for
         low-cardinality keys.
 
+        ``order_insensitive=True`` declares that the reduction's *output*
+        is independent of combine order and grouping layout (commutative
+        integer aggregation over fixed keys): only such stages may have
+        their combiner switched off by the stage planner without changing
+        output bytes.  Set-valued folds must leave it ``False``.
+
         Under ``shuffle="spill"`` the same reduction runs on the
         disk-backed data plane: the combiner spills sorted runs whenever
         the byte budget overflows and the reduce side merges them —
@@ -1070,10 +1168,57 @@ class DataSet(Generic[T]):
         ``memory_budget`` simulation does not apply.
         """
         env = self.env
-        if env.shuffle == "spill":
-            return self._spill_reduce_by_key(
+        planner = env.planner
+        plans = []
+        use_spill = env.shuffle == "spill"
+        if planner is not None and planner.active and env.memory_budget is None:
+            records = self._total_records()
+            combine_plan = planner.plan_combine(
+                name, records, order_insensitive=order_insensitive
+            )
+            if combine_plan.combine is not None and combine_plan.combine != combine:
+                combine = combine_plan.combine
+                plans.append(combine_plan)
+            if not use_spill:
+                shuffle_plan = planner.plan_shuffle(name, records)
+                if shuffle_plan.shuffle == "spill":
+                    use_spill = True
+                    plans.append(shuffle_plan)
+        stage_index = len(env.metrics.stages)
+        if use_spill:
+            result = self._spill_reduce_by_key(
                 key_fn, value_fn, reduce_fn, combine, name
             )
+            self._finish_planned_stage(stage_index, plans)
+            return result
+        result = self._inline_reduce_by_key(
+            key_fn, value_fn, reduce_fn, combine, name
+        )
+        self._finish_planned_stage(stage_index, plans)
+        return result
+
+    def _finish_planned_stage(self, stage_index: int, plans) -> None:
+        """Record planner decisions on a finished stage and feed back costs."""
+        planner = self.env.planner
+        if planner is None or not planner.active:
+            return
+        stages = self.env.metrics.stages
+        if stage_index >= len(stages):
+            return
+        for plan in plans:
+            planner.record(stages[stage_index], plan)
+        for stage in stages[stage_index:]:
+            planner.observe(stage)
+
+    def _inline_reduce_by_key(
+        self,
+        key_fn: Callable[[T], K],
+        value_fn: Callable[[T], V],
+        reduce_fn: Callable[[V, V], V],
+        combine: bool,
+        name: str,
+    ) -> "DataSet[Tuple[K, V]]":
+        env = self.env
         parallelism = env.parallelism
         stage = env.metrics.new_stage(name)
         payloads = [
@@ -1104,13 +1249,16 @@ class DataSet(Generic[T]):
             ]
             results = self._run_stage(stage, _combine_shuffle_task, payloads, records=self._total_records())
         shuffled = 0
-        for partition, (_buckets, emitted, elapsed) in zip(self.partitions, results):
+        for size, (_buckets, emitted, suppressed, elapsed) in zip(
+            self._partition_sizes(), results
+        ):
             shuffled += emitted
             stage.partition_seconds.append(elapsed)
-            stage.records_in.append(len(partition))
+            stage.records_in.append(size)
             stage.records_out.append(emitted)
+            stage.gc_suppressed_collections += suppressed
         stage.shuffled_records = shuffled
-        buckets = self._gather_buckets(split for split, _e, _t in results)
+        buckets = self._gather_buckets(split for split, _e, _g, _t in results)
         out = self._reduce_buckets(buckets, reduce_fn, name + "/reduce")
         return DataSet(env, out, name=name)
 
@@ -1140,8 +1288,38 @@ class DataSet(Generic[T]):
         byte-identical.
         """
         env = self.env
-        if env.shuffle == "spill":
-            return self._spill_flat_map_reduce_by_key(flat_fn, reduce_fn, name)
+        planner = env.planner
+        plans = []
+        use_spill = env.shuffle == "spill"
+        if (
+            planner is not None
+            and planner.active
+            and env.memory_budget is None
+            and not use_spill
+        ):
+            shuffle_plan = planner.plan_shuffle(name, self._total_records())
+            if shuffle_plan.shuffle == "spill":
+                use_spill = True
+                plans.append(shuffle_plan)
+        stage_index = len(env.metrics.stages)
+        if use_spill:
+            result = self._spill_flat_map_reduce_by_key(flat_fn, reduce_fn, name)
+            self._finish_planned_stage(stage_index, plans)
+            return result
+        result = self._inline_flat_map_reduce_by_key(
+            flat_fn, reduce_fn, state_cost_fn, name
+        )
+        self._finish_planned_stage(stage_index, plans)
+        return result
+
+    def _inline_flat_map_reduce_by_key(
+        self,
+        flat_fn: Callable[[T], Iterable[Tuple[K, V]]],
+        reduce_fn: Callable[[V, V], V],
+        state_cost_fn: Optional[Callable[[V], int]],
+        name: str,
+    ) -> "DataSet[Tuple[K, V]]":
+        env = self.env
         parallelism = env.parallelism
         stage = env.metrics.new_stage(name)
         payloads = [
@@ -1170,16 +1348,17 @@ class DataSet(Generic[T]):
             stage.recovered_oom_splits += 1
             results = self._run_stage(stage, _fused_nocombine_shuffle_task, payloads, records=self._total_records())
         shuffled = 0
-        for partition, (_buckets, emitted, peak, elapsed) in zip(
-            self.partitions, results
+        for size, (_buckets, emitted, peak, suppressed, elapsed) in zip(
+            self._partition_sizes(), results
         ):
             shuffled += emitted
             stage.peak_state_cost = max(stage.peak_state_cost, peak)
             stage.partition_seconds.append(elapsed)
-            stage.records_in.append(len(partition))
+            stage.records_in.append(size)
             stage.records_out.append(emitted)
+            stage.gc_suppressed_collections += suppressed
         stage.shuffled_records = shuffled
-        buckets = self._gather_buckets(split for split, _e, _p, _t in results)
+        buckets = self._gather_buckets(split for split, _e, _p, _g, _t in results)
         out = self._reduce_buckets(buckets, reduce_fn, name + "/reduce")
         return DataSet(env, out, name=name)
 
@@ -1300,12 +1479,15 @@ class DataSet(Generic[T]):
                 break
             except SimulatedOutOfMemory:
                 factor = self._next_split_factor(apply_stage, factor)
-        for (left_bucket, right_bucket), (result, elapsed) in zip(pairs, results):
+        for (left_bucket, right_bucket), (result, suppressed, elapsed) in zip(
+            pairs, results
+        ):
             apply_stage.partition_seconds.append(elapsed)
             apply_stage.records_in.append(len(left_bucket) + len(right_bucket))
             apply_stage.records_out.append(len(result))
+            apply_stage.gc_suppressed_collections += suppressed
         out: List[List[Any]] = [[] for _ in left_buckets]
-        for index, (result, _elapsed) in enumerate(results):
+        for index, (result, _suppressed, _elapsed) in enumerate(results):
             out[index // factor].extend(result)
         return DataSet(env, out, name=name)
 
@@ -1330,12 +1512,13 @@ class DataSet(Generic[T]):
         stage = self.env.metrics.new_stage(name)
         payloads = [(local_fn, partition) for partition in self.partitions]
         partials: List[U] = []
-        for partition, (partial, elapsed) in zip(
-            self.partitions, self._run_stage(stage, _local_reduce_task, payloads, records=self._total_records())
+        for size, (partial, elapsed) in zip(
+            self._partition_sizes(),
+            self._run_stage(stage, _local_reduce_task, payloads, records=self._total_records()),
         ):
             partials.append(partial)
             stage.partition_seconds.append(elapsed)
-            stage.records_in.append(len(partition))
+            stage.records_in.append(size)
             stage.records_out.append(1)
         stage.shuffled_records = max(0, len(partials) - 1)
 

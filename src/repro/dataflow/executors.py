@@ -39,6 +39,7 @@ between them.
 
 from __future__ import annotations
 
+import gc
 import multiprocessing
 import os
 from concurrent.futures import BrokenExecutor
@@ -78,6 +79,18 @@ def default_worker_count(parallelism: int) -> int:
 #: treated as below the threshold — an undeclared size is a single
 #: payload or a driver-side stage, never a reason to pay the pool.
 DEFAULT_INLINE_THRESHOLD = 2048
+
+
+def _freeze_worker() -> None:
+    """Process-pool initializer: move the inherited heap out of GC's way.
+
+    A forked worker starts with the driver's whole loaded state (modules,
+    the broadcast dataset, interned terms) in its young generations;
+    ``gc.freeze()`` moves all of it to the permanent generation so worker
+    collections never retrace objects that live for the process lifetime,
+    and copy-on-write pages are not dirtied by mark bookkeeping.
+    """
+    gc.freeze()
 
 
 def _plan_for(
@@ -209,7 +222,11 @@ class ProcessExecutor:
             methods = multiprocessing.get_all_start_methods()
             method = "fork" if "fork" in methods else None
             context = multiprocessing.get_context(method)
-            self._pool = _ProcessPool(max_workers=self.workers, mp_context=context)
+            self._pool = _ProcessPool(
+                max_workers=self.workers,
+                mp_context=context,
+                initializer=_freeze_worker,
+            )
         return self._pool
 
     def run(

@@ -26,3 +26,31 @@ class gc_paused:
     def __exit__(self, exc_type, exc, tb) -> None:
         if self._was_enabled:
             gc.enable()
+
+
+class stage_gc_pause:
+    """GC pause around one hot stage loop, counting suppressed passes.
+
+    Allocation counters keep advancing while the collector is disabled,
+    so the gen-0 count delta over the loop, divided by the gen-0
+    threshold, is how many collection passes the pause suppressed.  The
+    count is surfaced on :attr:`suppressed` for the stage's metrics
+    (``StageMetrics.gc_suppressed_collections``) so summaries show what
+    the pause actually saved.
+    """
+
+    __slots__ = ("_was_enabled", "_count0", "suppressed")
+
+    def __enter__(self) -> "stage_gc_pause":
+        self._was_enabled = gc.isenabled()
+        self._count0 = gc.get_count()[0]
+        self.suppressed = 0
+        gc.disable()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        threshold0 = gc.get_threshold()[0] or 700
+        allocated = gc.get_count()[0] - self._count0
+        self.suppressed = max(0, allocated) // threshold0
+        if self._was_enabled:
+            gc.enable()

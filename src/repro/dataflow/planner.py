@@ -1,0 +1,344 @@
+"""Cost-based per-stage execution planning.
+
+The engine's execution strategy knobs — batch kernel vs record-at-a-time
+operators, combiner on or off, inline vs spilling shuffle, and how many
+column batches a counting kernel slices — have so far been global flags.
+The :class:`StagePlanner` turns them into *per-stage* decisions driven by
+the calibrated costs the engine already measures
+(:class:`~repro.dataflow.metrics.StageMetrics`: per-partition seconds,
+record counts, reduction ratios, spill bytes, skew).
+
+Three modes (``--planner`` / ``RDFIND_PLANNER``):
+
+``off``
+    No planner.  Every operator runs exactly as before — this is the
+    byte-identity oracle the kernels are tested against.
+
+``static``
+    Rule-based: every stage that has a batch kernel uses it, regardless
+    of input size.  Deterministic and cheap to reason about; mainly
+    useful for tests (it forces the kernels onto tiny inputs) and as the
+    no-feedback baseline in the planner benchmark.
+
+``adaptive``
+    Cost-based: decisions consult the observed stage metrics.  Kernels
+    engage only above a records floor (below it the per-stage setup
+    dwarfs the win and the driver-side columnar paths are already
+    optimal); a combiner is switched off when the observed reduction
+    ratio of the same stage shows it is not aggregating; an inline
+    shuffle is escalated to spill when the projected shuffle state
+    exceeds the byte budget; and skewed counting stages get more column
+    batches on the next run.  The planner *learns within and across
+    runs*: :meth:`observe` folds every completed stage into per-stage-name
+    exponential moving averages, so a reused planner (the job server, a
+    benchmark sweep, repeated discovery over the same data) refines its
+    choices.
+
+Safety rules the planner never violates (they are what keeps every plan
+byte-identical to the ``off`` oracle):
+
+* A record-count ``memory_budget`` disables the kernels outright: that
+  budget simulates combiner OOM against the *record path's* state shape,
+  and the paper's reported failures (Figures 7/13) must keep failing.
+* An environment configured for ``shuffle="spill"`` is never flipped
+  back to inline — the bounded-memory guarantee stays.
+* Combiners are only switched off for reductions the caller marked
+  order-insensitive (commutative integer counts); set-valued folds keep
+  their combine order.
+* Reduce-side bucket splitting is never touched (it reorders output).
+
+Every decision is recorded on the stage it shaped
+(``StageMetrics.planner_choice`` / ``planner_reason``), so
+``JobMetrics.describe()`` and the server's progress stream show what the
+planner chose and why.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.dataflow.metrics import JobMetrics, StageMetrics
+
+#: The recognised planner modes, in escalation order.
+PLANNER_MODES = ("off", "static", "adaptive")
+
+#: Below this many input records the adaptive planner keeps the record /
+#: driver-columnar paths: a batch kernel's per-stage setup (batch
+#: construction, per-batch caches) costs more than it saves, and the
+#: tiny-dataset unit suites must keep exercising the oracle paths.
+DEFAULT_MIN_KERNEL_RECORDS = 4096
+
+#: A combiner whose observed output/input ratio exceeds this is not
+#: aggregating (almost every key is distinct): switch it off and stream
+#: the pairs instead of building a pointless per-worker table.
+COMBINE_OFF_RATIO = 0.95
+
+#: Fallback per-record shuffle-state estimate (bytes) when a stage has
+#: no observed byte costs yet — roughly one small tuple record.
+DEFAULT_RECORD_BYTES = 64
+
+#: Observed per-stage skew above which the adaptive planner slices more
+#: column batches for a counting kernel on the next run.
+SKEW_SPLIT_THRESHOLD = 1.5
+
+#: Weight of the newest observation in the per-stage moving averages.
+EWMA_ALPHA = 0.5
+
+
+@dataclass
+class StagePlan:
+    """One stage's planned execution strategy."""
+
+    #: Strategy label ("kernel", "record", "columnar-driver",
+    #: "combine-off", "spill", ...); lands in ``planner_choice``.
+    choice: str
+    #: Why the planner chose it; lands in ``planner_reason``.
+    reason: str
+    #: Whether the stage should run its batch kernel.
+    use_kernel: bool = False
+    #: Combiner decision for keyed reductions (None = caller's choice).
+    combine: Optional[bool] = None
+    #: Shuffle plane for this stage (None = environment default).
+    shuffle: Optional[str] = None
+    #: Column batches a counting kernel should slice (None = parallelism).
+    partitions: Optional[int] = None
+
+
+@dataclass
+class _StageCosts:
+    """Per-stage-name moving averages fed by :meth:`StagePlanner.observe`."""
+
+    runs: int = 0
+    seconds_per_record: float = 0.0
+    reduction_ratio: float = 1.0
+    bytes_per_record: float = float(DEFAULT_RECORD_BYTES)
+    skew: float = 1.0
+
+    def fold(self, stage: StageMetrics) -> None:
+        total_in = stage.total_in
+        if total_in <= 0:
+            return
+        rate = stage.cpu_seconds / total_in
+        ratio = stage.total_out / total_in
+        if stage.spilled_bytes and stage.shuffled_records:
+            per_record = stage.spilled_bytes / stage.shuffled_records
+        elif stage.peak_state_bytes and total_in:
+            per_record = stage.peak_state_bytes / total_in
+        else:
+            per_record = self.bytes_per_record
+        if self.runs == 0:
+            self.seconds_per_record = rate
+            self.reduction_ratio = ratio
+            self.bytes_per_record = per_record
+            self.skew = stage.skew
+        else:
+            alpha = EWMA_ALPHA
+            self.seconds_per_record += alpha * (rate - self.seconds_per_record)
+            self.reduction_ratio += alpha * (ratio - self.reduction_ratio)
+            self.bytes_per_record += alpha * (per_record - self.bytes_per_record)
+            self.skew += alpha * (stage.skew - self.skew)
+        self.runs += 1
+
+
+class StagePlanner:
+    """Per-stage execution strategy chooser (see module docstring).
+
+    Parameters
+    ----------
+    mode:
+        ``"off"``, ``"static"``, or ``"adaptive"``.
+    parallelism:
+        The environment's worker count (baseline batch count).
+    env_shuffle:
+        The environment's configured shuffle plane; spill is sticky.
+    memory_budget_bytes:
+        The spill byte budget, used to project inline-vs-spill.
+    allow_kernels:
+        ``False`` when a record-count ``memory_budget`` is configured —
+        the kernels would change the simulated OOM footprint, so the
+        record path stays authoritative.
+    min_kernel_records:
+        Adaptive records floor below which kernels stay off.
+    """
+
+    def __init__(
+        self,
+        mode: str,
+        parallelism: int = 1,
+        env_shuffle: str = "inline",
+        memory_budget_bytes: Optional[int] = None,
+        allow_kernels: bool = True,
+        min_kernel_records: int = DEFAULT_MIN_KERNEL_RECORDS,
+    ) -> None:
+        if mode not in PLANNER_MODES:
+            raise ValueError(
+                f"unknown planner mode {mode!r}; expected one of {PLANNER_MODES}"
+            )
+        self.mode = mode
+        self.parallelism = max(1, int(parallelism))
+        self.env_shuffle = env_shuffle
+        self.memory_budget_bytes = memory_budget_bytes
+        self.allow_kernels = bool(allow_kernels)
+        self.min_kernel_records = int(min_kernel_records)
+        self._costs: Dict[str, _StageCosts] = {}
+
+    # ------------------------------------------------------------------
+    # feedback
+    # ------------------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        return self.mode != "off"
+
+    def observe(self, stage: StageMetrics) -> None:
+        """Fold one completed stage into the per-stage cost averages."""
+        self._costs.setdefault(stage.name, _StageCosts()).fold(stage)
+
+    def observe_job(self, metrics: JobMetrics) -> None:
+        """Warm the cost model from a whole finished job."""
+        for stage in metrics.stages:
+            self.observe(stage)
+
+    def costs_for(self, name: str) -> Optional[_StageCosts]:
+        """The observed averages for a stage name, if any."""
+        return self._costs.get(name)
+
+    # ------------------------------------------------------------------
+    # decisions
+    # ------------------------------------------------------------------
+
+    def plan_kernel(self, name: str, records: int) -> StagePlan:
+        """Kernel vs record/driver path for a stage with a batch kernel."""
+        if not self.active:
+            return StagePlan(choice="record", reason="planner off")
+        if not self.allow_kernels:
+            return StagePlan(
+                choice="record",
+                reason="record-count memory budget configured; "
+                "record path is the budget oracle",
+            )
+        if self.mode == "static":
+            return StagePlan(
+                choice="kernel", reason="static mode", use_kernel=True
+            )
+        if records < self.min_kernel_records:
+            return StagePlan(
+                choice="record",
+                reason=f"small input ({records} < {self.min_kernel_records} records)",
+            )
+        costs = self._costs.get(name)
+        reason = f"{records} records >= {self.min_kernel_records} floor"
+        if costs is not None and costs.runs:
+            reason += (
+                f"; observed {costs.seconds_per_record * 1e6:.1f}us/record "
+                f"over {costs.runs} run(s)"
+            )
+        return StagePlan(choice="kernel", reason=reason, use_kernel=True)
+
+    def plan_combine(
+        self, name: str, records: int, order_insensitive: bool = False
+    ) -> StagePlan:
+        """Combiner on/off for a keyed reduction.
+
+        Only order-insensitive reductions (commutative integer counts)
+        may stream: set-valued folds depend on combine order for their
+        byte-identical internal layout.
+        """
+        if self.mode != "adaptive" or not order_insensitive:
+            return StagePlan(choice="combine", reason="default combiner")
+        costs = self._costs.get(name)
+        if costs is not None and costs.runs and costs.reduction_ratio > COMBINE_OFF_RATIO:
+            return StagePlan(
+                choice="combine-off",
+                reason=(
+                    f"observed reduction {costs.reduction_ratio:.2f} > "
+                    f"{COMBINE_OFF_RATIO} (combiner not aggregating)"
+                ),
+                combine=False,
+            )
+        return StagePlan(choice="combine", reason="no evidence against combiner")
+
+    def plan_shuffle(self, name: str, records: int) -> StagePlan:
+        """Inline vs spill data plane for one keyed stage."""
+        if self.env_shuffle == "spill":
+            return StagePlan(
+                choice="spill",
+                reason="environment configured for spill (sticky)",
+                shuffle="spill",
+            )
+        if self.mode != "adaptive" or self.memory_budget_bytes is None:
+            return StagePlan(choice="inline", reason="no byte budget configured")
+        costs = self._costs.get(name)
+        per_record = (
+            costs.bytes_per_record
+            if costs is not None and costs.runs
+            else float(DEFAULT_RECORD_BYTES)
+        )
+        projected = int(records * per_record)
+        if projected > self.memory_budget_bytes:
+            return StagePlan(
+                choice="spill",
+                reason=(
+                    f"projected state {projected}B > "
+                    f"budget {self.memory_budget_bytes}B"
+                ),
+                shuffle="spill",
+            )
+        return StagePlan(
+            choice="inline",
+            reason=(
+                f"projected state {projected}B <= "
+                f"budget {self.memory_budget_bytes}B"
+            ),
+        )
+
+    def plan_partitions(self, name: str, records: int) -> StagePlan:
+        """Column-batch count for an order-insensitive counting kernel.
+
+        Only consulted by the FC counting kernels, whose merged counts
+        are independent of how the columns are sliced; order-sensitive
+        kernels (capture-group assembly) are pinned to ``parallelism``
+        batches so the round-robin layout matches the record path.
+        """
+        count = self.parallelism
+        costs = self._costs.get(name)
+        if (
+            self.mode == "adaptive"
+            and costs is not None
+            and costs.runs
+            and costs.skew > SKEW_SPLIT_THRESHOLD
+        ):
+            return StagePlan(
+                choice="split-batches",
+                reason=(
+                    f"observed skew {costs.skew:.2f} > {SKEW_SPLIT_THRESHOLD}; "
+                    f"slicing {2 * count} batches"
+                ),
+                partitions=2 * count,
+            )
+        return StagePlan(
+            choice="batches", reason="balanced", partitions=count
+        )
+
+    # ------------------------------------------------------------------
+    # decision recording
+    # ------------------------------------------------------------------
+
+    def record(self, stage: Optional[StageMetrics], plan: StagePlan) -> None:
+        """Stamp a decision onto the stage it shaped (visible in summaries)."""
+        if stage is None:
+            return
+        if stage.planner_choice:
+            stage.planner_choice += f"+{plan.choice}"
+            stage.planner_reason += f"; {plan.reason}"
+        else:
+            stage.planner_choice = plan.choice
+            stage.planner_reason = plan.reason
+
+    def annotate(self, metrics: JobMetrics, stage_name: str, plan: StagePlan) -> None:
+        """Stamp a decision onto the most recent stage with ``stage_name``."""
+        for stage in reversed(metrics.stages):
+            if stage.name == stage_name:
+                self.record(stage, plan)
+                return

@@ -135,7 +135,15 @@ def record_bytes(record: Any) -> int:
     ``tests/test_shuffle.py`` pins this against deep
     ``sys.getsizeof``-measured sizes for the encoded record shapes: the
     estimate must stay within 2x either way.
+
+    Columnar batch records price themselves: an object exposing an
+    ``nbytes()`` method (e.g. :class:`repro.storage.columnar.TripleBatch`)
+    is charged its actual column payload, so a one-batch partition is
+    priced as the id-arrays it holds rather than one opaque object.
     """
+    nbytes = getattr(record, "nbytes", None)
+    if callable(nbytes):
+        return sys.getsizeof(record) + nbytes()
     size = sys.getsizeof(record)
     if isinstance(record, tuple):
         for field in record:

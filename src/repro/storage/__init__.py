@@ -28,6 +28,8 @@ _EXPORTS = {
     "INT32_MAX": "repro.storage.dictionary",
     "EncodedDataset": "repro.storage.columnar",
     "TRIPLE_CELLS": "repro.storage.columnar",
+    "TripleBatch": "repro.storage.columnar",
+    "build_triple_batches": "repro.storage.columnar",
     "VerticalPartitionStore": "repro.storage.vertical",
 }
 

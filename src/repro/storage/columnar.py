@@ -21,12 +21,85 @@ from __future__ import annotations
 from array import array
 from collections import Counter
 from itertools import starmap
-from typing import Iterable, Iterator, Optional, Sequence, Tuple
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.storage.dictionary import INT32_MAX, EncodedTriple, TermDictionary
 
 #: Width of one encoded triple in budget "cells" (one cell per term id).
 TRIPLE_CELLS = 3
+
+
+class TripleBatch:
+    """One worker's slice of an :class:`EncodedDataset`, kept columnar.
+
+    A batch holds three parallel ``array`` columns — the s, p, o ids of
+    the triples one dataflow partition would see record-at-a-time.  This
+    is the unit the vectorized operator kernels consume
+    (:mod:`repro.dataflow.kernels`): a kernel makes one pass over the id
+    arrays instead of the engine materializing a Python-object record per
+    triple.
+
+    Budget accounting is duck-typed: ``budget_cells`` prices the batch
+    for the record-count budget (:func:`repro.dataflow.engine.record_cells`,
+    3 cells per triple — the same charge an ``EncodedTriple`` stream
+    pays), and :meth:`nbytes` prices it for the byte-accurate spill
+    budget (:func:`repro.dataflow.shuffle.record_bytes`).
+    """
+
+    __slots__ = ("s", "p", "o")
+
+    def __init__(self, s: array, p: array, o: array) -> None:
+        self.s = s
+        self.p = p
+        self.o = o
+
+    def __len__(self) -> int:
+        return len(self.s)
+
+    def column(self, attr) -> array:
+        """The id column for a triple attribute (do not mutate)."""
+        return (self.s, self.p, self.o)[int(attr)]
+
+    @property
+    def columns(self) -> Tuple[array, array, array]:
+        """The (s, p, o) columns (do not mutate)."""
+        return self.s, self.p, self.o
+
+    @property
+    def budget_cells(self) -> int:
+        """Record-budget price: one cell per id, as for encoded triples."""
+        return TRIPLE_CELLS * len(self.s)
+
+    def nbytes(self) -> int:
+        """Actual column payload bytes (``sys.getsizeof`` already counts
+        an array's buffer, so this is what the arrays really hold)."""
+        return (
+            self.s.itemsize * len(self.s)
+            + self.p.itemsize * len(self.p)
+            + self.o.itemsize * len(self.o)
+        )
+
+    def __repr__(self) -> str:
+        return f"<TripleBatch: {len(self)} triples, '{self.s.typecode}' columns>"
+
+
+def build_triple_batches(encoded: "EncodedDataset", count: int) -> List[TripleBatch]:
+    """Slice a dataset into ``count`` round-robin column batches.
+
+    Batch ``i`` holds exactly the triples that
+    ``ExecutionEnvironment.from_collection`` routes to partition ``i``
+    (item ``j`` goes to partition ``j % count``), in the same order —
+    ``column[i::count]`` *is* that routing expressed as an array slice.
+    This order equivalence is what lets the batch kernels reproduce the
+    record-at-a-time operators byte for byte.
+    """
+    if count < 1:
+        raise ValueError(f"batch count must be >= 1, got {count}")
+    s, p, o = encoded.columns
+    return [
+        TripleBatch(s[index::count], p[index::count], o[index::count])
+        for index in range(count)
+    ]
 
 
 class EncodedDataset:

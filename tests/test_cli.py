@@ -31,8 +31,16 @@ class TestCli:
                 capsys, "discover", "dataset:Countries", "--scale", "0.1",
                 "-s", "5", "-n", "10", "--storage", storage,
             )
-            # drop the header line, whose timings differ between runs
-            outputs[storage] = out.splitlines()[1:]
+            # drop the header line, whose timings differ between runs,
+            # and the planner summary line: with RDFIND_PLANNER set, the
+            # stage-decision *count* differs between storage layouts
+            # (encoded exposes kernel-capable stages that strings lacks)
+            # even though the discovered output is identical.
+            outputs[storage] = [
+                line
+                for line in out.splitlines()[1:]
+                if not line.startswith("planner:")
+            ]
         assert outputs["encoded"] == outputs["strings"]
         assert outputs["encoded"]
 

@@ -328,3 +328,143 @@ class TestParallelismInvariance:
             return sorted(counted.collect())
 
         assert run(parallelism) == run(1)
+
+
+class TestBatchDatasets:
+    class _FakeBatch:
+        """Minimal batch: prices itself for the record budget."""
+
+        def __init__(self, items):
+            self.items = items
+            self.budget_cells = 3 * len(items)
+
+        def __len__(self):
+            return len(self.items)
+
+    def test_record_cells_honors_budget_cells(self):
+        batch = self._FakeBatch([1, 2, 3, 4])
+        assert record_cells(batch) == 12
+
+    def test_from_batches_accounts_logical_sizes(self):
+        environment = env(2)
+        batches = [self._FakeBatch([1, 2, 3]), self._FakeBatch([4, 5])]
+        ds = environment.from_batches(batches, sizes=[3, 2])
+        stage = environment.metrics.stage_by_name("source/batches")
+        assert stage.records_in == [3, 2]
+        assert ds._partition_sizes() == [3, 2]
+        assert ds._total_records() == 5
+
+    def test_from_batches_validates_shape(self):
+        environment = env(2)
+        with pytest.raises(ValueError):
+            environment.from_batches([self._FakeBatch([1])], sizes=[1])
+        with pytest.raises(ValueError):
+            environment.from_batches(
+                [self._FakeBatch([1]), self._FakeBatch([2])], sizes=[1]
+            )
+
+    def test_from_batches_charges_cost_fn_against_budget(self):
+        environment = env(2, memory_budget=4)
+        batches = [self._FakeBatch([1, 2]), self._FakeBatch([3, 4])]
+        with pytest.raises(SimulatedOutOfMemory):
+            environment.from_batches(batches, sizes=[2, 2], cost_fn=record_cells)
+
+    def test_downstream_stages_see_logical_records(self):
+        environment = env(2)
+        batches = [self._FakeBatch([1, 2, 3]), self._FakeBatch([4, 5])]
+        ds = environment.from_batches(batches, sizes=[3, 2])
+        flattened = ds.flat_map(lambda batch: list(batch.items), name="unbatch")
+        assert sorted(flattened.collect()) == [1, 2, 3, 4, 5]
+
+
+class TestPlannerIntegration:
+    """Engine-level behaviour of an attached StagePlanner."""
+
+    def _warmed_planner(self, stage_name, ratio_out=1000, **kwargs):
+        from repro.dataflow.metrics import StageMetrics
+        from repro.dataflow.planner import StagePlanner
+
+        planner = StagePlanner("adaptive", parallelism=3, **kwargs)
+        planner.observe(
+            StageMetrics(
+                name=stage_name,
+                partition_seconds=[0.1],
+                records_in=[1000],
+                records_out=[ratio_out],
+            )
+        )
+        return planner
+
+    def _count(self, environment, values, order_insensitive):
+        return (
+            environment.from_collection(values)
+            .reduce_by_key(
+                key_fn=lambda x: x,
+                value_fn=lambda _x: 1,
+                reduce_fn=lambda a, b: a + b,
+                name="count",
+                order_insensitive=order_insensitive,
+            )
+            .collect()
+        )
+
+    def test_combine_off_is_output_identical(self):
+        values = [x % 40 for x in range(97)]
+        baseline = self._count(env(3), values, order_insensitive=True)
+        planned = env(3)
+        planned.planner = self._warmed_planner("count")  # ratio 1.0 > 0.95
+        result = self._count(planned, values, order_insensitive=True)
+        assert result == baseline
+        stage = planned.metrics.stage_by_name("count")
+        assert stage.planner_choice == "combine-off"
+
+    def test_order_sensitive_reduction_keeps_combiner(self):
+        planned = env(3)
+        planned.planner = self._warmed_planner("count")
+        self._count(planned, list(range(20)), order_insensitive=False)
+        stage = planned.metrics.stage_by_name("count")
+        assert stage.planner_choice == ""  # no decision to stamp
+
+    def test_shuffle_escalation_is_output_identical(self):
+        values = [x % 10 for x in range(200)]
+        baseline = self._count(env(3), values, order_insensitive=True)
+        planned = env(3)
+        # Tiny byte budget: the projection always exceeds it.
+        planned.planner = self._warmed_planner(
+            "count", ratio_out=10, memory_budget_bytes=64
+        )
+        result = self._count(planned, values, order_insensitive=True)
+        assert result == baseline
+        stage = planned.metrics.stage_by_name("count")
+        assert "spill" in stage.planner_choice
+        assert stage.spilled_runs >= 0  # ran on the spill plane
+
+    def test_record_memory_budget_bypasses_planner(self):
+        # The record-count OOM simulation must see the unplanned paths.
+        planned = env(3, memory_budget=10_000)
+        planned.planner = self._warmed_planner("count")
+        self._count(planned, list(range(20)), order_insensitive=True)
+        stage = planned.metrics.stage_by_name("count")
+        assert stage.planner_choice == ""
+
+
+class TestFusedFastPath:
+    """The unpriced fused-combine loop must match the priced one."""
+
+    @pytest.mark.parametrize("parallelism", [1, 3])
+    def test_budgeted_and_unbudgeted_fusion_agree(self, parallelism):
+        values = list(range(60))
+
+        def flat_fn(x):
+            yield x % 7, 1
+            yield x % 4, 10
+
+        def run(**kwargs):
+            return (
+                env(parallelism, **kwargs)
+                .from_collection(values)
+                .flat_map_reduce_by_key(flat_fn, lambda a, b: a + b)
+                .collect()
+            )
+
+        assert run() == run(memory_budget=10_000)

@@ -1,0 +1,520 @@
+"""Tests for the stage planner and the vectorized batch kernels.
+
+The central contract: every plan the planner can pick — batch kernels,
+combiner off, spill escalation, batch re-slicing — produces output
+byte-identical to the planner-off record-at-a-time oracle, on both
+executor backends and both shuffle planes.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import sys
+
+import pytest
+
+from repro.core.capture_groups import create_capture_groups
+from repro.core.conditions import Attr, ConditionScope, UnaryCondition
+from repro.core.discovery import RDFind, RDFindConfig
+from repro.core.frequent_conditions import (
+    _columnar_binary_counts,
+    _columnar_unary_counts,
+    detect_frequent_conditions,
+)
+from repro.core.serialization import result_to_dict
+from repro.dataflow.bloom import BloomFilter
+from repro.dataflow.engine import ExecutionEnvironment, record_cells
+from repro.dataflow.gcpause import gc_paused, stage_gc_pause
+from repro.dataflow.kernels import (
+    batch_dataset,
+    binary_counts_kernel,
+    unary_counts_kernel,
+)
+from repro.dataflow.metrics import JobMetrics, StageMetrics
+from repro.dataflow.planner import (
+    COMBINE_OFF_RATIO,
+    DEFAULT_MIN_KERNEL_RECORDS,
+    PLANNER_MODES,
+    SKEW_SPLIT_THRESHOLD,
+    StagePlanner,
+)
+from repro.dataflow.shuffle import record_bytes
+from repro.storage.columnar import TripleBatch, build_triple_batches
+
+from tests.conftest import random_rdf
+
+
+def result_digest(result) -> str:
+    """Canonical JSON of everything a discovery run produced."""
+    return json.dumps(result_to_dict(result), sort_keys=True)
+
+
+def discover(planner="off", executor="serial", shuffle="inline", seed=7, h=2, **kwargs):
+    dataset = random_rdf(seed, n_triples=120, n_subjects=8, n_objects=8)
+    config = RDFindConfig(
+        support_threshold=h,
+        parallelism=3,
+        planner=planner,
+        executor=executor,
+        shuffle=shuffle,
+        **kwargs,
+    )
+    return RDFind(config).discover(dataset.encode())
+
+
+# ----------------------------------------------------------------------
+# planner unit behaviour
+# ----------------------------------------------------------------------
+
+
+class TestStagePlannerDecisions:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            StagePlanner("aggressive")
+
+    def test_modes_tuple_is_the_contract(self):
+        assert PLANNER_MODES == ("off", "static", "adaptive")
+
+    def test_off_mode_keeps_record_path(self):
+        plan = StagePlanner("off").plan_kernel("fc/unary-columnar", 10**6)
+        assert not plan.use_kernel
+        assert plan.choice == "record"
+
+    def test_static_mode_forces_kernel_even_on_tiny_input(self):
+        plan = StagePlanner("static").plan_kernel("fc/unary-columnar", 1)
+        assert plan.use_kernel
+        assert plan.choice == "kernel"
+
+    def test_adaptive_floor_keeps_record_path_on_small_input(self):
+        planner = StagePlanner("adaptive")
+        plan = planner.plan_kernel("cg/group-by-value", DEFAULT_MIN_KERNEL_RECORDS - 1)
+        assert not plan.use_kernel
+        assert "small input" in plan.reason
+
+    def test_adaptive_engages_kernel_above_floor(self):
+        planner = StagePlanner("adaptive")
+        plan = planner.plan_kernel("cg/group-by-value", DEFAULT_MIN_KERNEL_RECORDS)
+        assert plan.use_kernel
+
+    def test_record_memory_budget_disables_kernels(self):
+        planner = StagePlanner("static", allow_kernels=False)
+        plan = planner.plan_kernel("fc/unary-columnar", 10**6)
+        assert not plan.use_kernel
+        assert "budget" in plan.reason
+
+    def test_combine_stays_on_without_evidence(self):
+        planner = StagePlanner("adaptive")
+        plan = planner.plan_combine("fc/unary-aggregate", 10**5, order_insensitive=True)
+        assert plan.combine is None
+        assert plan.choice == "combine"
+
+    def test_combine_off_needs_order_insensitivity(self):
+        planner = StagePlanner("adaptive")
+        planner.observe(
+            StageMetrics(
+                name="cg/group-by-value",
+                partition_seconds=[0.1],
+                records_in=[1000],
+                records_out=[1000],
+            )
+        )
+        plan = planner.plan_combine("cg/group-by-value", 1000, order_insensitive=False)
+        assert plan.combine is None  # set-valued folds keep their combiner
+
+    def test_combine_switched_off_when_not_aggregating(self):
+        planner = StagePlanner("adaptive")
+        planner.observe(
+            StageMetrics(
+                name="ex/capture-support",
+                partition_seconds=[0.1],
+                records_in=[1000],
+                records_out=[990],  # ratio 0.99 > COMBINE_OFF_RATIO
+            )
+        )
+        plan = planner.plan_combine("ex/capture-support", 1000, order_insensitive=True)
+        assert plan.combine is False
+        assert plan.choice == "combine-off"
+
+    def test_spill_environment_is_sticky(self):
+        planner = StagePlanner("adaptive", env_shuffle="spill")
+        plan = planner.plan_shuffle("cg/group-by-value", 10)
+        assert plan.shuffle == "spill"
+        assert "sticky" in plan.reason
+
+    def test_shuffle_escalates_when_projection_exceeds_budget(self):
+        planner = StagePlanner("adaptive", memory_budget_bytes=1024)
+        big = planner.plan_shuffle("cg/group-by-value", 10**6)
+        small = planner.plan_shuffle("cg/group-by-value", 2)
+        assert big.shuffle == "spill"
+        assert small.shuffle is None and small.choice == "inline"
+
+    def test_skew_splits_counting_batches(self):
+        planner = StagePlanner("adaptive", parallelism=4)
+        planner.observe(
+            StageMetrics(
+                name="fc/binary-columnar",
+                partition_seconds=[4.0, 0.1, 0.1, 0.1],  # skew >> threshold
+                records_in=[100, 100, 100, 100],
+                records_out=[10, 10, 10, 10],
+            )
+        )
+        assert planner.costs_for("fc/binary-columnar").skew > SKEW_SPLIT_THRESHOLD
+        plan = planner.plan_partitions("fc/binary-columnar", 400)
+        assert plan.partitions == 8
+        assert plan.choice == "split-batches"
+
+    def test_balanced_stage_keeps_parallelism_batches(self):
+        planner = StagePlanner("adaptive", parallelism=4)
+        plan = planner.plan_partitions("fc/unary-columnar", 400)
+        assert plan.partitions == 4
+
+    def test_observe_job_warms_cost_model(self):
+        metrics = JobMetrics()
+        stage = metrics.new_stage("fc/unary-columnar")
+        stage.partition_seconds = [0.5]
+        stage.records_in = [10000]
+        stage.records_out = [100]
+        planner = StagePlanner("adaptive")
+        planner.observe_job(metrics)
+        costs = planner.costs_for("fc/unary-columnar")
+        assert costs.runs == 1
+        assert costs.seconds_per_record == pytest.approx(0.5 / 10000)
+        assert costs.reduction_ratio == pytest.approx(0.01)
+        plan = planner.plan_kernel("fc/unary-columnar", DEFAULT_MIN_KERNEL_RECORDS)
+        assert plan.use_kernel
+        assert "observed" in plan.reason
+
+    def test_ewma_folds_repeat_observations(self):
+        planner = StagePlanner("adaptive")
+        fast = StageMetrics(
+            name="s", partition_seconds=[0.1], records_in=[1000], records_out=[10]
+        )
+        slow = StageMetrics(
+            name="s", partition_seconds=[0.3], records_in=[1000], records_out=[10]
+        )
+        planner.observe(fast)
+        planner.observe(slow)
+        costs = planner.costs_for("s")
+        assert costs.runs == 2
+        assert 0.1 / 1000 < costs.seconds_per_record < 0.3 / 1000
+
+    def test_record_stamps_and_appends_decisions(self):
+        planner = StagePlanner("static")
+        stage = StageMetrics(name="cg/group-by-value")
+        planner.record(stage, planner.plan_kernel("cg/group-by-value", 100))
+        assert stage.planner_choice == "kernel"
+        assert stage.planner_reason == "static mode"
+        planner.record(stage, planner.plan_combine("cg/group-by-value", 100))
+        assert stage.planner_choice == "kernel+combine"
+        assert "; " in stage.planner_reason
+
+    def test_annotate_targets_most_recent_stage(self):
+        planner = StagePlanner("static")
+        metrics = JobMetrics()
+        first = metrics.new_stage("cg/group-by-value")
+        second = metrics.new_stage("cg/group-by-value")
+        planner.annotate(metrics, "cg/group-by-value", planner.plan_kernel("x", 1))
+        assert second.planner_choice == "kernel"
+        assert first.planner_choice == ""
+
+
+# ----------------------------------------------------------------------
+# batch layout and pricing honesty
+# ----------------------------------------------------------------------
+
+
+class TestTripleBatches:
+    def test_batches_reproduce_round_robin_partitioning(self):
+        encoded = random_rdf(3, n_triples=50).encode()
+        count = 4
+        batches = build_triple_batches(encoded, count)
+        rows = list(encoded)
+        for index, batch in enumerate(batches):
+            expected = rows[index::count]
+            assert len(batch) == len(expected)
+            assert list(zip(*batch.columns)) == [tuple(t) for t in expected]
+
+    def test_batch_dataset_matches_from_collection_layout(self):
+        encoded = random_rdf(4, n_triples=40).encode()
+        env = ExecutionEnvironment(parallelism=3)
+        triples = env.from_collection(encoded)
+        batches = batch_dataset(env, encoded)
+        record_partitions = triples.partitions
+        for index, partition in enumerate(batches.partitions):
+            (batch,) = partition
+            assert list(zip(*batch.columns)) == [
+                tuple(t) for t in record_partitions[index]
+            ]
+
+    def test_oversliced_batches_round_robin_onto_workers(self):
+        encoded = random_rdf(5, n_triples=30).encode()
+        env = ExecutionEnvironment(parallelism=2)
+        batches = batch_dataset(env, encoded, batch_count=5)
+        partitions = batches.partitions
+        assert [len(p) for p in partitions] == [3, 2]  # batches 0,2,4 / 1,3
+        total = sum(len(batch) for p in partitions for batch in p)
+        assert total == len(encoded)
+
+    def test_record_budget_prices_batches_like_triples(self):
+        encoded = random_rdf(6, n_triples=33).encode()
+        batches = build_triple_batches(encoded, 4)
+        assert sum(record_cells(b) for b in batches) == encoded.cells
+        assert all(b.budget_cells == 3 * len(b) for b in batches)
+
+    def test_byte_budget_pricing_is_honest(self):
+        """nbytes must be within 2x of what the arrays really occupy."""
+        encoded = random_rdf(8, n_triples=2000, n_subjects=40, n_objects=40).encode()
+        (batch,) = build_triple_batches(encoded, 1)
+        priced = record_bytes(batch)
+        assert priced == sys.getsizeof(batch) + batch.nbytes()
+        actual = sys.getsizeof(batch) + sum(
+            sys.getsizeof(column) for column in batch.columns
+        )
+        assert priced <= actual  # never over the real footprint
+        assert actual <= 2 * priced  # ...and never pricing under half of it
+
+    def test_invalid_batch_count_rejected(self):
+        encoded = random_rdf(9, n_triples=10).encode()
+        with pytest.raises(ValueError):
+            build_triple_batches(encoded, 0)
+
+
+# ----------------------------------------------------------------------
+# kernels vs their record/driver oracles
+# ----------------------------------------------------------------------
+
+
+def kernel_env(executor="serial"):
+    return ExecutionEnvironment(parallelism=3, executor=executor)
+
+
+class TestKernelOracles:
+    @pytest.mark.parametrize("executor", ["serial", "process"])
+    def test_unary_counts_match_driver_columnar_scan(self, executor):
+        encoded = random_rdf(11, n_triples=90).encode()
+        scope = ConditionScope.full()
+        oracle_env, env = kernel_env(), kernel_env(executor)
+        oracle = _columnar_unary_counts(oracle_env, encoded, scope, 2)
+        batches = batch_dataset(env, encoded)
+        assert unary_counts_kernel(env, batches, scope, 2) == oracle
+
+    @pytest.mark.parametrize("executor", ["serial", "process"])
+    def test_binary_counts_match_driver_columnar_scan(self, executor):
+        encoded = random_rdf(12, n_triples=90).encode()
+        scope = ConditionScope.full()
+        oracle_env, env = kernel_env(), kernel_env(executor)
+        unary = _columnar_unary_counts(oracle_env, encoded, scope, 2)
+        bloom = BloomFilter.from_items(unary, capacity=max(1, len(unary)))
+        oracle = _columnar_binary_counts(oracle_env, encoded, scope, bloom, 2)
+        batches = batch_dataset(env, encoded)
+        assert binary_counts_kernel(env, batches, scope, bloom, 2) == oracle
+
+    def test_split_batches_do_not_change_counts(self):
+        # The FC kernels are order-insensitive: the planner's skew split
+        # (more batches than workers) must leave the counts unchanged.
+        encoded = random_rdf(13, n_triples=90).encode()
+        scope = ConditionScope.full()
+        env = kernel_env()
+        baseline = unary_counts_kernel(env, batch_dataset(env, encoded), scope, 2)
+        split = unary_counts_kernel(
+            env, batch_dataset(env, encoded, batch_count=7), scope, 2
+        )
+        assert split == baseline
+
+    @pytest.mark.parametrize("executor", ["serial", "process"])
+    @pytest.mark.parametrize("pruned", [False, True])
+    def test_capture_groups_match_record_path(self, executor, pruned):
+        encoded = random_rdf(14, n_triples=120, n_subjects=8, n_objects=8).encode()
+        scope = ConditionScope.full()
+        frequent = None
+        if pruned:
+            frequent = detect_frequent_conditions(
+                kernel_env(),
+                kernel_env().from_collection(encoded),
+                h=2,
+                scope=scope,
+                columns=encoded,
+            )
+        oracle_env = kernel_env(executor)
+        oracle = create_capture_groups(
+            oracle_env, oracle_env.from_collection(encoded), scope, frequent
+        ).partitions
+        env = kernel_env(executor)
+        triples = env.from_collection(encoded)
+        kernel = create_capture_groups(
+            env, triples, scope, frequent, batches=batch_dataset(env, encoded)
+        ).partitions
+        # Identical partitions, not just identical contents: the kernel
+        # feeds the same shuffle routing as the record path.
+        assert kernel == oracle
+
+    def test_capture_group_kernel_with_restricted_scope(self):
+        encoded = random_rdf(15, n_triples=80).encode()
+        scope = ConditionScope.predicates_only()
+        env1, env2 = kernel_env(), kernel_env()
+        oracle = create_capture_groups(
+            env1, env1.from_collection(encoded), scope, None
+        ).partitions
+        kernel = create_capture_groups(
+            env2,
+            env2.from_collection(encoded),
+            scope,
+            None,
+            batches=batch_dataset(env2, encoded),
+        ).partitions
+        assert kernel == oracle
+
+
+class TestBloomIntKeyFastPath:
+    def test_agrees_with_contains_for_int_tuple_keys(self):
+        bloom = BloomFilter.for_capacity(256, 0.01)
+        members = [UnaryCondition(Attr.P, v) for v in range(0, 200, 3)]
+        bloom.update(members)
+        probes = [UnaryCondition(Attr.P, v) for v in range(200)] + [
+            (a, b) for a in range(10) for b in range(10)
+        ]
+        for key in probes:
+            assert bloom.contains_int_key(key) == (key in bloom)
+
+    def test_plain_int_keys(self):
+        bloom = BloomFilter.from_items(range(0, 100, 7), capacity=20)
+        for value in range(100):
+            assert bloom.contains_int_key(value) == (value in bloom)
+
+
+# ----------------------------------------------------------------------
+# end-to-end byte identity and decision visibility
+# ----------------------------------------------------------------------
+
+
+class TestPlannerByteIdentity:
+    @pytest.fixture(scope="class")
+    def oracle_digest(self):
+        return result_digest(discover(planner="off"))
+
+    @pytest.mark.parametrize("planner", ["static", "adaptive"])
+    @pytest.mark.parametrize("shuffle", ["inline", "spill"])
+    def test_serial_identical_to_oracle(self, planner, shuffle, oracle_digest):
+        result = discover(planner=planner, shuffle=shuffle)
+        assert result_digest(result) == oracle_digest
+
+    @pytest.mark.parametrize("planner", ["static", "adaptive"])
+    def test_process_identical_to_oracle(self, planner, oracle_digest):
+        result = discover(planner=planner, executor="process")
+        assert result_digest(result) == oracle_digest
+
+    def test_planner_survives_strings_storage(self, oracle_digest):
+        # STRINGS storage has no columns, hence no kernels — the planner
+        # must degrade to a no-op, not crash.
+        result = discover(planner="static", storage="strings")
+        assert result_digest(result) == oracle_digest
+
+
+class TestPlannerVisibility:
+    def test_static_run_stamps_kernel_decisions(self):
+        result = discover(planner="static")
+        metrics = result.metrics
+        assert metrics.planner == "static"
+        assert metrics.planner_decisions >= 3
+        stamped = {
+            stage.name: stage.planner_choice
+            for stage in metrics.stages
+            if stage.planner_choice
+        }
+        assert stamped.get("cg/group-by-value", "").startswith("kernel")
+        assert any(name.startswith("fc/") for name in stamped)
+        described = metrics.describe()
+        assert "planner=static" in described
+        assert "plan=kernel" in described
+
+    def test_adaptive_small_input_reports_record_choice(self):
+        result = discover(planner="adaptive")
+        metrics = result.metrics
+        assert metrics.planner == "adaptive"
+        stage = metrics.stage_by_name("cg/group-by-value")
+        assert stage.planner_choice == "record"
+        assert "small input" in stage.planner_reason
+
+    def test_off_run_stamps_nothing(self):
+        result = discover(planner="off")
+        assert result.metrics.planner == "off"
+        assert result.metrics.planner_decisions == 0
+
+    def test_decisions_in_metrics_wire_format(self):
+        result = discover(planner="static")
+        payload = result.metrics.to_dict()
+        assert payload["summary"]["planner"] == "static"
+        assert payload["summary"]["planner_decisions"] >= 3
+        assert any(stage.get("planner_choice") for stage in payload["stages"])
+
+
+class TestConfigPlumbing:
+    def test_invalid_planner_mode_rejected(self):
+        with pytest.raises(ValueError):
+            RDFindConfig(planner="bogus")
+
+    def test_env_variable_supplies_default(self, monkeypatch):
+        monkeypatch.setenv("RDFIND_PLANNER", "adaptive")
+        assert RDFindConfig().planner == "adaptive"
+        monkeypatch.delenv("RDFIND_PLANNER")
+        assert RDFindConfig().planner == "off"
+
+    def test_record_memory_budget_run_keeps_oracle_output(self):
+        # A record-count budget forces the record paths even under the
+        # static planner; the run must still succeed and match.
+        baseline = discover(planner="off")
+        budgeted = discover(planner="static", memory_budget=100_000)
+        assert result_digest(budgeted) == result_digest(baseline)
+        stamped = [
+            stage
+            for stage in budgeted.metrics.stages
+            if stage.planner_choice == "record"
+        ]
+        assert stamped and all(
+            "budget" in stage.planner_reason for stage in stamped
+        )
+
+
+# ----------------------------------------------------------------------
+# GC suppression accounting
+# ----------------------------------------------------------------------
+
+
+class TestGcPause:
+    def test_gc_paused_restores_previous_state(self):
+        was_enabled = gc.isenabled()
+        try:
+            gc.enable()
+            with gc_paused():
+                assert not gc.isenabled()
+            assert gc.isenabled()
+            gc.disable()
+            with gc_paused():
+                assert not gc.isenabled()
+            assert not gc.isenabled()
+        finally:
+            gc.enable() if was_enabled else gc.disable()
+
+    def test_stage_pause_counts_suppressed_passes(self):
+        threshold0 = gc.get_threshold()[0] or 700
+        with stage_gc_pause() as pause:
+            # Keep the allocations alive through __exit__: the gen-0
+            # counter is allocations minus deallocations, so freeing
+            # inside the block would cancel the delta being measured.
+            garbage = [[] for _ in range(3 * threshold0)]
+        assert pause.suppressed >= 1
+        del garbage
+
+    def test_quiet_stage_suppresses_nothing(self):
+        with stage_gc_pause() as pause:
+            pass
+        assert pause.suppressed == 0
+
+    def test_job_metrics_aggregate_suppressed_collections(self):
+        result = discover(planner="off")
+        total = result.metrics.total_gc_suppressed_collections
+        assert total == sum(
+            stage.gc_suppressed_collections for stage in result.metrics.stages
+        )
+        assert total >= 0

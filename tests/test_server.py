@@ -307,7 +307,7 @@ class TestStore:
         with pytest.raises(ValueError):
             JobRequest.from_json(["not", "an", "object"])
 
-    def test_request_roundtrip_and_fingerprint(self):
+    def test_request_roundtrip_and_fingerprint(self, monkeypatch):
         request = JobRequest(dataset="Countries", support_threshold=7, scale=0.5)
         assert JobRequest.from_json(request.to_json()) == request
         assert request.fingerprint() == request.fingerprint()
@@ -317,7 +317,10 @@ class TestStore:
         )
         # The executor default chain is part of the key: an explicit
         # "serial" and an unset executor (defaulting to serial)
-        # fingerprint the same, so they share one cache entry.
+        # fingerprint the same, so they share one cache entry.  Clear the
+        # ambient override so "unset" really defaults to serial when the
+        # suite runs under RDFIND_EXECUTOR=process.
+        monkeypatch.delenv("RDFIND_EXECUTOR", raising=False)
         explicit = JobRequest(dataset="Countries", executor="serial")
         implicit = JobRequest(dataset="Countries")
         assert explicit.fingerprint() == implicit.fingerprint()
