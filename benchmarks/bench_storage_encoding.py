@@ -13,17 +13,34 @@ for dictionary encoding + vertical partitioning:
     ``storage='encoded'`` (columnar counting fast paths), asserting the
     rendered pertinent-CIND and AR output is identical before comparing
     the clocks.
+4.  *Compressed storage v2* — the bit-packed, frequency-remapped
+    :class:`~repro.storage.compressed.CompressedDataset` and the frozen
+    vertical store vs their PR 1 mutable forms; the compressed column
+    payload must come in at least ``MIN_COMPRESSION_V2`` times smaller
+    than the encoded columns (content asserted identical first).
+
+Writes ``BENCH_storage.json`` at the repo root with the per-dataset
+numbers.
 """
 
+import json
 import sys
 import time
+from pathlib import Path
 
 import pytest
 
 from repro.core.discovery import RDFind, RDFindConfig
 from repro.datasets import registry
+from repro.storage.compressed import CompressedDataset
+from repro.storage.vertical import VerticalPartitionStore
 
 DATASETS = (("Countries", 10), ("Diseasome", 25))
+
+#: Acceptance floor: compressed columns vs the PR 1 encoded columns.
+MIN_COMPRESSION_V2 = 2.0
+
+OUTPUT_JSON = Path(__file__).resolve().parent.parent / "BENCH_storage.json"
 
 
 def _string_bytes(dataset) -> int:
@@ -73,6 +90,16 @@ def test_storage_encoding(dataset_name, h, benchmark, report):
             )
         assert outputs["encoded"] == outputs["strings"]
 
+        started = time.perf_counter()
+        compressed = CompressedDataset.from_encoded(direct)
+        compress_seconds = time.perf_counter() - started
+        assert list(compressed) == list(direct)  # content identical
+
+        store = VerticalPartitionStore.from_encoded(direct)
+        store_mutable_bytes = store.nbytes()
+        store.freeze()
+        store_frozen_bytes = store.nbytes()
+
         return {
             "triples": len(encoded),
             "encode_seconds": encode_seconds,
@@ -82,6 +109,13 @@ def test_storage_encoding(dataset_name, h, benchmark, report):
             "strings_seconds": timings["strings"],
             "encoded_seconds": timings["encoded"],
             "cinds": len(outputs["encoded"][0]),
+            "column_bytes": direct.nbytes(),
+            "compressed_bytes": compressed.nbytes(),
+            "compressed_total_bytes": compressed.total_nbytes(),
+            "compress_seconds": compress_seconds,
+            "column_widths": [c.width for c in compressed.columns],
+            "store_mutable_bytes": store_mutable_bytes,
+            "store_frozen_bytes": store_frozen_bytes,
         }
 
     row = benchmark.pedantic(body, rounds=1, iterations=1)
@@ -105,9 +139,41 @@ def test_storage_encoding(dataset_name, h, benchmark, report):
         f" {row['encoded_seconds']:6.2f}s encoded ({speedup:4.2f}x),"
         f" {row['cinds']:,} identical pertinent CINDs"
     )
+    compression_v2 = row["column_bytes"] / max(row["compressed_bytes"], 1)
+    store_ratio = row["store_mutable_bytes"] / max(row["store_frozen_bytes"], 1)
+    widths = "/".join(str(w) for w in row["column_widths"])
+    section.row(
+        f"compressed v2 {row['column_bytes']:>10,} B columns ->"
+        f" {row['compressed_bytes']:>9,} B bit-packed"
+        f" ({compression_v2:4.1f}x, {widths}-bit, "
+        f"{row['compress_seconds']:5.2f}s)"
+    )
+    section.row(
+        f"frozen store  {row['store_mutable_bytes']:>10,} B mutable ->"
+        f" {row['store_frozen_bytes']:>9,} B frozen ({store_ratio:4.1f}x)"
+    )
+
+    payload = {}
+    if OUTPUT_JSON.exists():
+        try:
+            payload = json.loads(OUTPUT_JSON.read_text())
+        except ValueError:
+            payload = {}
+    payload[dataset_name] = dict(
+        row,
+        h=h,
+        compression_v2=compression_v2,
+        store_compression=store_ratio,
+    )
+    OUTPUT_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
     # The columnar layout must never lose on memory, and the counting
     # fast paths should win end to end on at least the larger dataset.
     assert row["encoded_mb"] < row["string_mb"]
     if dataset_name == "Diseasome":
         assert speedup > 1.0
+    # Storage v2 acceptance: the bit-packed columns must at least halve
+    # the PR 1 encoded column payload, and freezing the vertical store
+    # must never lose.
+    assert compression_v2 >= MIN_COMPRESSION_V2
+    assert store_ratio > 1.0

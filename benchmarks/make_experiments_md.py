@@ -118,10 +118,27 @@ VERDICTS: Dict[str, str] = {
         "(asserted).** Dictionary-encoded columns shrink the resident set "
         "~4× vs string triples and the columnar counting fast paths speed "
         "up end-to-end discovery, growing with dataset size (~1.1× on "
-        "tiny Countries, ~1.6× on full-size Diseasome). Not a paper "
+        "tiny Countries, ~1.6× on full-size Diseasome). The storage-v2 "
+        "layer (frequency-ordered codes + per-column bit packing, frozen "
+        "varint posting lists) shrinks the column payload a further "
+        "≥2× (measured ~3×) with identical content. Not a paper "
         "experiment — this reproduces the dictionary-encoding + "
         "vertical-partitioning design of the in-memory RDF stores the "
         "paper builds on."
+    ),
+    "Snapshot load": (
+        "**Verdict — warm start is effectively free; output "
+        "byte-identical (asserted).** Not a paper experiment — this "
+        "characterizes the mmap snapshot format (`rdfind snapshot`, "
+        "`repro.storage.snapshot`). Loading Diseasome from a CRC-framed "
+        "snapshot (three `frombytes` column adoptions + lazy term "
+        "decode off the mapping) beats N-Triples parse+encode by ≥20× "
+        "(measured ~25-30×), reproduces the exact checkpoint dataset "
+        "digest, and discovery from the snapshot serializes "
+        "byte-identically to the parse-from-source run on both "
+        "executors. Corrupted or truncated snapshots raise typed errors "
+        "and the cache path falls back to re-parsing (pinned by "
+        "`tests/test_snapshot.py`)."
     ),
     "Fault recovery": (
         "**Verdict — recovery guarantee holds; overhead is bounded.** Not "
@@ -219,6 +236,7 @@ def extract_sections(log_text: str) -> List[Tuple[str, List[str]]]:
                 "Figure",
                 "Section",
                 "Storage",
+                "Snapshot",
                 "Vectorized",
                 "Parallel",
                 "Fault",

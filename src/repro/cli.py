@@ -16,9 +16,12 @@ Subcommands::
     rdfind profile dataset:Diseasome             # everything in one report
     rdfind cross a.nt b.nt -s 25                 # cross-dataset CINDs
     rdfind serve --port 8745 --job-dir jobs      # discovery job server
+    rdfind snapshot save dataset:Diseasome -o d.snap   # mmap-able snapshot
+    rdfind discover d.snap -s 25                 # O(ms) warm start
 
-Inputs are N-Triples files, Turtle files (``.ttl``), or
-``dataset:<Name>`` to use a synthetic Table 2 dataset.
+Inputs are N-Triples files, Turtle files (``.ttl``), snapshot files
+(``.snap``, see ``rdfind snapshot``), or ``dataset:<Name>`` to use a
+synthetic Table 2 dataset.
 """
 
 from __future__ import annotations
@@ -43,10 +46,14 @@ from repro.datasets.registry import DATASETS, load
 from repro.rdf.model import Dataset, EncodedDataset
 from repro.rdf.ntriples import parse_ntriples_file, write_ntriples_file
 from repro.rdf.turtle import parse_turtle_file
+from repro.storage.snapshot import SNAPSHOT_SUFFIX, load_snapshot
 
 
 def _load_input(
-    spec: str, scale: float = 1.0, storage: str = "encoded"
+    spec: str,
+    scale: float = 1.0,
+    storage: str = "encoded",
+    snapshot_dir: "Optional[str]" = None,
 ) -> "Dataset | EncodedDataset":
     """Load an input in the requested physical layout.
 
@@ -54,8 +61,35 @@ def _load_input(
     generated straight into dictionary-encoded columns and parsed files
     are encoded right after parsing; ``storage='strings'`` keeps the
     record-at-a-time string :class:`Dataset`.
+
+    ``*.snap`` inputs are mmap-loaded snapshots
+    (:mod:`repro.storage.snapshot`).  With ``snapshot_dir`` set (and
+    encoded storage), other inputs go through the snapshot cache: a warm
+    job skips parsing entirely, a cold one leaves a snapshot behind.
     """
     encoded = storage == "encoded"
+    if str(spec).endswith(SNAPSHOT_SUFFIX):
+        dataset = load_snapshot(spec)
+        return dataset if encoded else dataset.decode()
+    if snapshot_dir and encoded:
+        from repro.storage.snapshot import (
+            load_with_snapshot_cache,
+            snapshot_cache_fields,
+        )
+
+        dataset, _hit = load_with_snapshot_cache(
+            snapshot_dir,
+            snapshot_cache_fields(spec, scale),
+            lambda: _load_source(spec, scale, encoded=True),
+        )
+        return dataset
+    return _load_source(spec, scale, encoded=encoded)
+
+
+def _load_source(
+    spec: str, scale: float, encoded: bool
+) -> "Dataset | EncodedDataset":
+    """Parse/generate an input from its source of truth (no snapshots)."""
     if spec.startswith("dataset:"):
         return load(spec[len("dataset:") :], scale=scale, encoded=encoded)
     if str(spec).endswith((".ttl", ".turtle")):
@@ -241,9 +275,27 @@ def _require_writable_dir(path: str, *, flag: str) -> None:
         raise SystemExit(f"error: {flag} {path!r} is not a writable directory: {error}")
 
 
+def _snapshot_cache_dir(args: argparse.Namespace) -> Optional[str]:
+    """Where checkpointed runs cache dataset snapshots, if anywhere.
+
+    A run with a checkpoint workspace has opted into durable warm-start
+    state, so dataset snapshots live beside the checkpoints — a
+    ``--resume`` relaunch then skips re-parsing its input entirely.
+    """
+    checkpoint_dir = getattr(args, "checkpoint_dir", None) or os.environ.get(
+        "RDFIND_CHECKPOINT_DIR"
+    )
+    if not checkpoint_dir:
+        return None
+    return os.path.join(checkpoint_dir, "snapshots")
+
+
 def _discover(args: argparse.Namespace) -> DiscoveryResult:
     storage = getattr(args, "storage", "encoded")
-    dataset = _load_input(args.input, scale=args.scale, storage=storage)
+    snapshot_dir = _snapshot_cache_dir(args) if storage == "encoded" else None
+    dataset = _load_input(
+        args.input, scale=args.scale, storage=storage, snapshot_dir=snapshot_dir
+    )
     variant = getattr(args, "variant", "rdfind")
     builders = {
         "rdfind": RDFindConfig,
@@ -476,6 +528,40 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_snapshot(args: argparse.Namespace) -> int:
+    """Manage mmap-loadable dataset snapshots (save / load / info)."""
+    import time
+
+    from repro.storage.snapshot import save_snapshot, snapshot_info
+
+    if args.snapshot_command == "save":
+        dataset = _ensure_encoded(
+            _load_input(args.input, scale=args.scale, storage="encoded")
+        )
+        header = save_snapshot(dataset, args.output, remap=args.remap)
+        size = os.path.getsize(args.output)
+        remapped = " (frequency-remapped ids)" if header["remapped"] else ""
+        print(
+            f"wrote {header['triples']:,} triples / {header['terms']:,} terms "
+            f"to {args.output} ({size:,} bytes){remapped}"
+        )
+        return 0
+    if args.snapshot_command == "load":
+        started = time.perf_counter()
+        dataset = load_snapshot(args.path)
+        elapsed = time.perf_counter() - started
+        print(
+            f"loaded {len(dataset):,} triples / "
+            f"{len(dataset.dictionary):,} terms from {args.path} "
+            f"in {elapsed * 1000:.1f}ms"
+        )
+        return 0
+    header = snapshot_info(args.path)
+    for key in sorted(header):
+        print(f"{key:>10}: {header[key]}")
+    return 0
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
     dataset = _load_input(args.input, scale=args.scale, storage=args.storage)
     h = args.support if args.support > 0 else None
@@ -598,6 +684,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_executor_flags(serve)
 
+    snapshot = sub.add_parser(
+        "snapshot",
+        help="save/load mmap-able dataset snapshots (O(ms) warm start)",
+    )
+    snapshot_sub = snapshot.add_subparsers(
+        dest="snapshot_command", required=True
+    )
+    snapshot_save = snapshot_sub.add_parser(
+        "save", help="parse/generate an input and write it as a .snap file"
+    )
+    snapshot_save.add_argument(
+        "input", help="N-Triples/Turtle file or dataset:<Name>"
+    )
+    snapshot_save.add_argument(
+        "-o", "--output", required=True, help="snapshot file to write"
+    )
+    snapshot_save.add_argument(
+        "--scale", type=float, default=1.0, help="scale for dataset: inputs"
+    )
+    snapshot_save.add_argument(
+        "--remap", action="store_true", default=False,
+        help="rewrite term ids in frequency order before saving (shortest "
+        "codes for the hottest terms; decoded triples are unchanged, "
+        "integer ids are not)",
+    )
+    snapshot_load = snapshot_sub.add_parser(
+        "load", help="load a snapshot and report triples/terms/latency"
+    )
+    snapshot_load.add_argument("path", help="snapshot file (.snap)")
+    snapshot_info_parser = snapshot_sub.add_parser(
+        "info", help="print a snapshot's header without loading the columns"
+    )
+    snapshot_info_parser.add_argument("path", help="snapshot file (.snap)")
+
     profile = sub.add_parser(
         "profile", help="full dataset profiling report (ProLOD++-style)"
     )
@@ -632,6 +752,7 @@ _COMMANDS = {
     "cross": cmd_cross,
     "profile": cmd_profile,
     "serve": cmd_serve,
+    "snapshot": cmd_snapshot,
 }
 
 

@@ -303,6 +303,17 @@ class JobStore:
     def checkpoint_dir(self, job_id: str) -> str:
         return os.path.join(self.job_dir(job_id), "checkpoint")
 
+    def snapshot_dir(self) -> str:
+        """The store-wide dataset snapshot cache.
+
+        Shared across jobs (keyed by input spec + scale, not by job), so
+        every job over the same dataset after the first skips parsing —
+        including cache *misses* of the result cache, which still re-run
+        discovery but start from the mmap-ed snapshot.  Deliberately not
+        a job id, so job listing (``j%06d`` directories) ignores it.
+        """
+        return os.path.join(self.directory, "snapshots")
+
     # -- records -------------------------------------------------------
 
     def create(self, request: JobRequest) -> JobRecord:

@@ -81,10 +81,15 @@ def _install_signal_handlers() -> None:
         pass
 
 
-def _load_dataset(request: JobRequest):
-    """Load the request's dataset in its requested physical layout."""
+def _load_dataset(request: JobRequest, snapshot_dir: Optional[str] = None):
+    """Load the request's dataset in its requested physical layout.
+
+    With ``snapshot_dir`` (the store-wide snapshot cache) a warm job
+    mmap-loads the dataset instead of re-parsing/generating it; the
+    first cold job populates the cache.
+    """
     # cli._load_input is the one canonical input loader (registry refs,
-    # .nt, .ttl); imported lazily to keep worker startup lean.
+    # .nt, .ttl, .snap); imported lazily to keep worker startup lean.
     from repro.cli import _load_input
 
     spec = request.dataset
@@ -92,7 +97,12 @@ def _load_dataset(request: JobRequest):
         # Bare registry names are accepted in requests; normalize to the
         # loader's explicit form.
         spec = f"dataset:{spec}"
-    return _load_input(spec, scale=request.scale, storage=request.storage)
+    return _load_input(
+        spec,
+        scale=request.scale,
+        storage=request.storage,
+        snapshot_dir=snapshot_dir,
+    )
 
 
 def _build_config(request: JobRequest, checkpoint_dir: str) -> RDFindConfig:
@@ -191,7 +201,7 @@ def run_job(job_dir: str) -> int:
     started = time.perf_counter()
     try:
         _hold_until_released(job_dir, request)
-        dataset = _load_dataset(request)
+        dataset = _load_dataset(request, snapshot_dir=store.snapshot_dir())
         config = _build_config(request, store.checkpoint_dir(job_id))
         metrics = JobMetrics()
         with _ProgressPublisher(store.progress_path(job_id), metrics):

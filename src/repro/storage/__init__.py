@@ -12,7 +12,15 @@ discovery hot path runs on:
 * :class:`~repro.storage.vertical.VerticalPartitionStore` — (s, o)
   columns grouped by predicate id, exposing the same ``match`` primitive
   as :class:`repro.rdf.store.TripleStore` so SPARQL evaluation and query
-  minimization run on either store.
+  minimization run on either store; ``freeze()`` drops it into the
+  compressed resident form.
+* :mod:`repro.storage.compressed` — bit-packed columns, zigzag-delta
+  varint posting lists, and frequency-ordered term codes: the same
+  logical content at a fraction of the bytes.
+* :mod:`repro.storage.snapshot` — a versioned, CRC-framed on-disk
+  format (dictionary blob + id columns) loading via ``mmap`` with lazy
+  term decode, plus the snapshot cache warm-start policy used by
+  ``--resume`` and the job server.
 
 Attributes are resolved lazily (PEP 562): :mod:`repro.rdf.model`
 re-exports the dictionary layer from here, so an eager import of the
@@ -30,7 +38,22 @@ _EXPORTS = {
     "TRIPLE_CELLS": "repro.storage.columnar",
     "TripleBatch": "repro.storage.columnar",
     "build_triple_batches": "repro.storage.columnar",
+    "packed_column_nbytes": "repro.storage.columnar",
     "VerticalPartitionStore": "repro.storage.vertical",
+    "PostingOverflowError": "repro.storage.vertical",
+    "BitPackedColumn": "repro.storage.compressed",
+    "CompressedDataset": "repro.storage.compressed",
+    "FrozenPostingList": "repro.storage.compressed",
+    "frequency_order": "repro.storage.compressed",
+    "remap_by_frequency": "repro.storage.compressed",
+    "SNAPSHOT_SUFFIX": "repro.storage.snapshot",
+    "SnapshotError": "repro.storage.snapshot",
+    "SnapshotTermDictionary": "repro.storage.snapshot",
+    "load_snapshot": "repro.storage.snapshot",
+    "load_with_snapshot_cache": "repro.storage.snapshot",
+    "save_snapshot": "repro.storage.snapshot",
+    "snapshot_cache_fields": "repro.storage.snapshot",
+    "snapshot_info": "repro.storage.snapshot",
 }
 
 __all__ = sorted(_EXPORTS)

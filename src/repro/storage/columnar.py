@@ -29,6 +29,22 @@ from repro.storage.dictionary import INT32_MAX, EncodedTriple, TermDictionary
 TRIPLE_CELLS = 3
 
 
+def packed_column_nbytes(column: Sequence[int]) -> int:
+    """Bytes a non-negative id column occupies when bit-packed.
+
+    The fixed-width packing of
+    :class:`repro.storage.compressed.BitPackedColumn`: every value at the
+    bits the column maximum needs (at least 1), rounded up to whole
+    bytes.  Defined here (not in ``compressed``) so pricing call sites
+    can estimate packed sizes without importing the compression layer.
+    """
+    count = len(column)
+    if not count:
+        return 0
+    width = max(1, max(column).bit_length())
+    return (count * width + 7) // 8
+
+
 class TripleBatch:
     """One worker's slice of an :class:`EncodedDataset`, kept columnar.
 
@@ -71,12 +87,17 @@ class TripleBatch:
         return TRIPLE_CELLS * len(self.s)
 
     def nbytes(self) -> int:
-        """Actual column payload bytes (``sys.getsizeof`` already counts
-        an array's buffer, so this is what the arrays really hold)."""
+        """Byte-budget price of the batch: its bit-packed column size.
+
+        Batches spend most of their life in compressed form (the packed
+        columns of :mod:`repro.storage.compressed`, the framed spill
+        runs), so the spill budget and the planner price them at what the
+        ids pack to — per-column maximum bit width — rather than at the
+        mutable arrays' fixed 4/8-byte slots."""
         return (
-            self.s.itemsize * len(self.s)
-            + self.p.itemsize * len(self.p)
-            + self.o.itemsize * len(self.o)
+            packed_column_nbytes(self.s)
+            + packed_column_nbytes(self.p)
+            + packed_column_nbytes(self.o)
         )
 
     def __repr__(self) -> str:
@@ -167,12 +188,56 @@ class EncodedDataset:
         return dataset
 
     def append_ids(self, s: int, p: int, o: int) -> None:
-        """Append one encoded triple (no deduplication)."""
+        """Append one encoded triple (no deduplication).
+
+        Term ids are dictionary offsets and therefore never negative; a
+        negative value here means a corrupted snapshot or a buggy caller,
+        and silently storing it would round-trip garbage through the
+        signed columns.  Reject it at the append boundary instead.
+        """
+        if s < 0 or p < 0 or o < 0:
+            raise ValueError(
+                f"term ids must be non-negative, got ({s}, {p}, {o})"
+            )
         if self._s.typecode == "i" and (s > INT32_MAX or p > INT32_MAX or o > INT32_MAX):
             self._widen()
         self._s.append(s)
         self._p.append(p)
         self._o.append(o)
+
+    @classmethod
+    def from_columns(
+        cls,
+        s: array,
+        p: array,
+        o: array,
+        dictionary: TermDictionary,
+        name: str = "",
+    ) -> "EncodedDataset":
+        """Adopt three pre-built parallel id columns (no copy).
+
+        The snapshot loader's constructor: columns come straight out of
+        an ``array.frombytes`` and must already be consistent — same
+        length, same typecode, non-negative ids.  Those invariants are
+        checked here (cheap whole-column ``min`` scans) because the
+        per-append validation of :meth:`append_ids` is bypassed.
+        """
+        if not (len(s) == len(p) == len(o)):
+            raise ValueError(
+                f"column lengths differ: {len(s)}/{len(p)}/{len(o)}"
+            )
+        if not (s.typecode == p.typecode == o.typecode):
+            raise ValueError(
+                "column typecodes differ: "
+                f"{s.typecode!r}/{p.typecode!r}/{o.typecode!r}"
+            )
+        if len(s) and min(min(s), min(p), min(o)) < 0:
+            raise ValueError("columns contain negative term ids")
+        dataset = cls(dictionary=dictionary, name=name)
+        dataset._s = s
+        dataset._p = p
+        dataset._o = o
+        return dataset
 
     def append_terms(self, s: str, p: str, o: str) -> EncodedTriple:
         """Intern and append one string triple; returns its encoding."""

@@ -42,11 +42,12 @@ class TermDictionary:
     ``KeyError``; encoding always succeeds (new terms get fresh ids).
     """
 
-    __slots__ = ("_term_to_id", "_id_to_term")
+    __slots__ = ("_term_to_id", "_id_to_term", "_utf8_payload")
 
     def __init__(self) -> None:
         self._term_to_id: dict = {}
         self._id_to_term: List[str] = []
+        self._utf8_payload = 0
 
     def __len__(self) -> int:
         return len(self._id_to_term)
@@ -61,6 +62,7 @@ class TermDictionary:
             term_id = len(self._id_to_term)
             self._term_to_id[term] = term_id
             self._id_to_term.append(term)
+            self._utf8_payload += _term_nbytes(term)
         return term_id
 
     def encode_existing(self, term: str) -> int:
@@ -104,10 +106,30 @@ class TermDictionary:
     def nbytes(self) -> int:
         """Resident-set proxy of the dictionary itself.
 
-        Counts the term payload bytes once plus one pointer-sized slot in
-        each of the two directions — deliberately a *proxy* (like the
-        record-count budgets of the dataflow engine), not an exact
-        ``sys.getsizeof`` walk, so it stays comparable across platforms.
+        Counts the UTF-8 payload bytes of every term once (maintained
+        incrementally as terms are interned — ``len(term)`` would count
+        *characters* and underprice non-ASCII IRIs/literals) plus one
+        pointer-sized slot in each of the two directions — deliberately a
+        *proxy* (like the record-count budgets of the dataflow engine),
+        not an exact ``sys.getsizeof`` walk, so it stays comparable
+        across platforms.
         """
-        payload = sum(len(term) for term in self._id_to_term)
-        return payload + 16 * len(self._id_to_term)
+        return self._utf8_payload + 16 * len(self._id_to_term)
+
+    def __getstate__(self):
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def __setstate__(self, state) -> None:
+        self._term_to_id = state["_term_to_id"]
+        self._id_to_term = state["_id_to_term"]
+        payload = state.get("_utf8_payload")
+        if payload is None:
+            # Pickles from before the byte-accurate accounting.
+            payload = sum(_term_nbytes(term) for term in self._id_to_term)
+        self._utf8_payload = payload
+
+
+def _term_nbytes(term: str) -> int:
+    """UTF-8 byte length of one term (character count on the ASCII fast
+    path, where the two are equal)."""
+    return len(term) if term.isascii() else len(term.encode("utf-8", "surrogatepass"))

@@ -32,6 +32,34 @@ from repro.storage.dictionary import EncodedTriple, TermDictionary
 #: Packing shift for posting-list entries: entry = (p_id << 32) | offset.
 _OFFSET_BITS = 32
 _OFFSET_MASK = (1 << _OFFSET_BITS) - 1
+#: Largest predicate id a packed posting entry can carry: the entry is
+#: stored in a *signed* 64-bit ``'q'`` slot, so the predicate field has
+#: 31 usable bits, not 32.
+_MAX_PACKED_PREDICATE = 2**31 - 1
+
+
+class PostingOverflowError(OverflowError):
+    """A posting entry does not fit the packed ``(p_id << 32) | offset``
+    layout — predicate id beyond 2^31-1 or partition beyond 2^32 rows.
+
+    Raised eagerly at insert: silently packing such an entry into a
+    signed 64-bit array slot would corrupt it (a large ``p_id`` flips the
+    sign bit; a large ``offset`` bleeds into the predicate field) and
+    produce wrong matches much later.
+    """
+
+
+def _pack_posting(p_id: int, offset: int) -> int:
+    """Pack a ``(predicate id, row offset)`` posting entry, checked."""
+    if p_id < 0 or p_id > _MAX_PACKED_PREDICATE:
+        raise PostingOverflowError(
+            f"predicate id {p_id} outside packed range [0, {_MAX_PACKED_PREDICATE}]"
+        )
+    if offset < 0 or offset > _OFFSET_MASK:
+        raise PostingOverflowError(
+            f"partition row offset {offset} outside packed range [0, {_OFFSET_MASK}]"
+        )
+    return (p_id << _OFFSET_BITS) | offset
 
 
 class VerticalPartitionStore:
@@ -52,6 +80,7 @@ class VerticalPartitionStore:
         self._s_postings: Dict[int, array] = {}
         self._o_postings: Dict[int, array] = {}
         self._size = 0
+        self._frozen = False
         for triple in triples:
             self.add(triple)
 
@@ -85,15 +114,17 @@ class VerticalPartitionStore:
 
     def _append_ids(self, s_id: int, p_id: int, o_id: int) -> None:
         """Append one encoded triple without a duplicate check."""
+        if self._frozen:
+            self.thaw()
         partition = self._partitions.get(p_id)
         if partition is None:
             partition = (array("q"), array("q"))
             self._partitions[p_id] = partition
         s_column, o_column = partition
         offset = len(s_column)
+        packed = _pack_posting(p_id, offset)
         s_column.append(s_id)
         o_column.append(o_id)
-        packed = (p_id << _OFFSET_BITS) | offset
         posting = self._s_postings.get(s_id)
         if posting is None:
             posting = self._s_postings[s_id] = array("q")
@@ -195,8 +226,8 @@ class VerticalPartitionStore:
                 return
             s_column, o_column = partition
             if s_id is None and o_id is None:
-                for offset in range(len(s_column)):
-                    yield EncodedTriple(s_column[offset], p_id, o_column[offset])
+                for row_s, row_o in zip(s_column, o_column):
+                    yield EncodedTriple(row_s, p_id, row_o)
                 return
             # Probe the smaller side through the posting lists.
             yield from self._scan_postings(
@@ -210,8 +241,8 @@ class VerticalPartitionStore:
             return
         for partition_p in sorted(self._partitions):
             s_column, o_column = self._partitions[partition_p]
-            for offset in range(len(s_column)):
-                yield EncodedTriple(s_column[offset], partition_p, o_column[offset])
+            for row_s, row_o in zip(s_column, o_column):
+                yield EncodedTriple(row_s, partition_p, row_o)
 
     def _postings_for(self, s_id: Optional[int], o_id: Optional[int]) -> array:
         """The shortest applicable posting list for the bound s/o ids."""
@@ -318,21 +349,78 @@ class VerticalPartitionStore:
         """Materialize the store contents as a sorted :class:`Dataset`."""
         return Dataset(sorted(self.match()), name=name)
 
+    # ------------------------------------------------------------------
+    # compression
+    # ------------------------------------------------------------------
+
+    @property
+    def frozen(self) -> bool:
+        """Whether the store is in its compressed read-only form."""
+        return self._frozen
+
+    def freeze(self) -> "VerticalPartitionStore":
+        """Compress the store in place into its read-only resident form.
+
+        Partition columns become
+        :class:`~repro.storage.compressed.BitPackedColumn` (per-column
+        bit width) and posting lists become zigzag-delta varint
+        :class:`~repro.storage.compressed.FrozenPostingList`; entry order
+        is preserved exactly, so every ``match`` answer is unchanged.  A
+        later :meth:`add` transparently thaws first.  Returns ``self``
+        for chaining.
+        """
+        if self._frozen:
+            return self
+        from repro.storage.compressed import BitPackedColumn, FrozenPostingList
+
+        self._partitions = {
+            p_id: (BitPackedColumn.pack(s), BitPackedColumn.pack(o))
+            for p_id, (s, o) in self._partitions.items()
+        }
+        for index in (self._s_postings, self._o_postings):
+            for key in index:
+                index[key] = FrozenPostingList.from_values(index[key])
+        self._frozen = True
+        return self
+
+    def thaw(self) -> "VerticalPartitionStore":
+        """Decompress back to the mutable ``array`` form (in place)."""
+        if not self._frozen:
+            return self
+        self._partitions = {
+            p_id: (s.to_array(), o.to_array())
+            for p_id, (s, o) in self._partitions.items()
+        }
+        for index in (self._s_postings, self._o_postings):
+            for key in index:
+                index[key] = array("q", index[key])
+        self._frozen = False
+        return self
+
     def nbytes(self) -> int:
         """Resident-set proxy: column payload plus posting-list payload."""
         columns = sum(
-            s.itemsize * len(s) + o.itemsize * len(o)
+            _column_nbytes(s) + _column_nbytes(o)
             for s, o in self._partitions.values()
         )
         postings = sum(
-            p.itemsize * len(p)
+            _column_nbytes(p)
             for index in (self._s_postings, self._o_postings)
             for p in index.values()
         )
         return columns + postings
 
     def __repr__(self) -> str:
+        state = " frozen," if self._frozen else ""
         return (
-            f"<VerticalPartitionStore: {self._size} triples in "
+            f"<VerticalPartitionStore:{state} {self._size} triples in "
             f"{len(self._partitions)} predicate partitions>"
         )
+
+
+def _column_nbytes(column) -> int:
+    """Payload bytes of a column in either form (packed or ``array``)."""
+    nbytes = getattr(column, "nbytes", None)
+    if callable(nbytes):
+        return nbytes()
+    return column.itemsize * len(column)

@@ -66,7 +66,8 @@ class TestRendering:
             "Table 2", "Figure 2", "Figure 4", "Figure 7", "Figure 8",
             "Figure 9", "Figure 10", "Figure 11", "Figure 12", "Figure 13",
             "Figure 14", "Section 8.6", "Storage encoding",
-            "Vectorized kernels", "Parallel scaling", "Fault recovery",
-            "Spilling shuffle", "Checkpoint/resume", "Server cache",
+            "Snapshot load", "Vectorized kernels", "Parallel scaling",
+            "Fault recovery", "Spilling shuffle", "Checkpoint/resume",
+            "Server cache",
         }
         assert set(VERDICTS) == expected

