@@ -1,0 +1,125 @@
+"""Streaming maintenance benchmark: delta updates vs full re-discovery.
+
+The streaming subsystem's whole reason to exist: after a batch of
+add/remove updates, answering ``pertinent_cinds()`` from the maintained
+state must be much cheaper than re-running batch RDFind on the
+materialized dataset.  This bench loads ~90% of Diseasome into a
+:class:`~repro.streaming.maintainer.StreamingRDFind`, then sweeps update
+batch sizes — each batch a mix of adds (from the held-out tail) and
+removes (of loaded triples) — timing
+
+1.  the delta path — apply the batch to the maintainer + query, and
+2.  the full path — materialize the post-batch dataset and run
+    ``RDFind(...).discover`` from scratch,
+
+asserting the two agree exactly (same pertinent CIND set) and that the
+delta path wins at every batch size.
+
+Writes ``BENCH_stream.json`` at the repo root.
+"""
+
+import json
+import random
+import time
+from pathlib import Path
+
+from repro.core.discovery import RDFind, RDFindConfig
+from repro.datasets import registry
+from repro.streaming import StreamingRDFind
+
+DATASET = "Diseasome"
+H = 10
+BATCH_SIZES = [1, 8, 64, 512]
+#: Acceptance floor: per-batch delta maintenance vs full re-discovery.
+MIN_SPEEDUP = 1.0
+
+OUTPUT_JSON = Path(__file__).resolve().parent.parent / "BENCH_stream.json"
+
+
+def batch_cind_set(dataset):
+    result = RDFind(RDFindConfig(support_threshold=H)).discover(dataset)
+    dictionary = result.dictionary
+    return {
+        (sc.cind.render(dictionary), sc.support) for sc in result.cinds
+    }
+
+
+def stream_cind_set(maintainer):
+    cinds, _rules = maintainer.batch_result()
+    dictionary = maintainer.dictionary
+    return {
+        (sc.cind.render(dictionary), sc.support) for sc in cinds
+    }
+
+
+def test_streaming_vs_full_rerun(benchmark, report):
+    rng = random.Random(42)
+    triples = list(registry.load(DATASET))
+    split = int(len(triples) * 0.9)
+    initial, tail = triples[:split], triples[split:]
+
+    def body():
+        maintainer = StreamingRDFind(h=H)
+        maintainer.add_all(initial)
+        maintainer.pertinent_cinds()  # settle the caches
+
+        live = list(initial)
+        tail_pool = list(tail)
+        rows = []
+        for batch_size in BATCH_SIZES:
+            batch = []
+            for _ in range(batch_size):
+                if live and (not tail_pool or rng.random() < 0.5):
+                    victim = live.pop(rng.randrange(len(live)))
+                    batch.append(("remove", victim))
+                else:
+                    fresh = tail_pool.pop(rng.randrange(len(tail_pool)))
+                    live.append(fresh)
+                    batch.append(("add", fresh))
+
+            started = time.perf_counter()
+            for op, triple in batch:
+                maintainer.apply(op, triple)
+            delta_set = stream_cind_set(maintainer)
+            delta_seconds = time.perf_counter() - started
+
+            started = time.perf_counter()
+            full_set = batch_cind_set(maintainer.materialize())
+            full_seconds = time.perf_counter() - started
+
+            assert delta_set == full_set
+            rows.append(
+                {
+                    "batch_size": batch_size,
+                    "live_triples": maintainer.triples,
+                    "cinds": len(delta_set),
+                    "delta_seconds": delta_seconds,
+                    "full_seconds": full_seconds,
+                    "speedup": full_seconds / max(delta_seconds, 1e-9),
+                }
+            )
+        return {
+            "dataset": DATASET,
+            "h": H,
+            "initial_triples": len(initial),
+            "batches": rows,
+        }
+
+    result = benchmark.pedantic(body, rounds=1, iterations=1)
+
+    section = report.section(
+        f"Streaming maintenance — {DATASET} "
+        f"({result['initial_triples']:,} initial triples, h={H})"
+    )
+    for row in result["batches"]:
+        section.row(
+            f"batch {row['batch_size']:>4}: delta "
+            f"{row['delta_seconds']*1000:8.1f}ms vs full re-run "
+            f"{row['full_seconds']*1000:8.1f}ms "
+            f"({row['speedup']:6.1f}x, {row['cinds']:,} CINDs agree)"
+        )
+
+    OUTPUT_JSON.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+
+    for row in result["batches"]:
+        assert row["speedup"] >= MIN_SPEEDUP, row

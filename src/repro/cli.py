@@ -562,6 +562,101 @@ def cmd_snapshot(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stream(args: argparse.Namespace) -> int:
+    """Run streaming discovery over a durable state directory.
+
+    Opens (or resumes) a :class:`~repro.streaming.session.StreamSession`,
+    optionally bulk-loads an initial dataset on first open, applies an
+    update script (JSON-lines of ``{"op", "s", "p", "o"}``), and emits
+    result summaries at a configurable cadence.  With ``-o`` the final
+    result document is byte-identical to ``rdfind discover -o`` on the
+    materialized dataset.
+    """
+    import json as _json
+
+    from repro.streaming.session import StreamSession
+
+    _require_writable_dir(args.state_dir, flag="state dir")
+    session = StreamSession(
+        args.state_dir,
+        h=args.support,
+        scope=_scope(args.scope),
+        compact_every=args.compact_every,
+        fsync=not args.no_fsync,
+    )
+    with session:
+        if session.resumed_from_checkpoint or session.replayed_records:
+            print(
+                f"resumed at seq {session.applied_seq:,} "
+                f"(checkpoint: {'yes' if session.resumed_from_checkpoint else 'no'}, "
+                f"replayed {session.replayed_records:,} changelog records)"
+            )
+        if args.init:
+            if session.applied_seq:
+                print(f"state dir is non-empty; ignoring --init {args.init}")
+            else:
+                dataset = _load_input(
+                    args.init, scale=args.scale, storage="strings"
+                )
+                loaded = session.load_initial(dataset)
+                print(
+                    f"loaded {loaded:,} initial triples from {args.init} "
+                    f"(seq {session.applied_seq:,})"
+                )
+
+        def emit(tag: str) -> None:
+            cinds = session.pertinent_cinds()
+            stats = session.maintainer.stats
+            print(
+                f"[{tag}] seq {session.applied_seq:,}: "
+                f"{session.maintainer.triples:,} triples, "
+                f"{len(cinds):,} pertinent CINDs "
+                f"(+{stats.triples_added:,}/-{stats.triples_removed:,} applied, "
+                f"{stats.compactions} compactions)"
+            )
+
+        if args.updates:
+            applied = 0
+            with open(args.updates, "r", encoding="utf-8") as handle:
+                for line_no, line in enumerate(handle, 1):
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        delta = _json.loads(line)
+                        op, s, p, o = (
+                            delta["op"], delta["s"], delta["p"], delta["o"]
+                        )
+                    except (ValueError, KeyError, TypeError) as error:
+                        raise SystemExit(
+                            f"error: {args.updates}:{line_no}: bad delta ({error})"
+                        )
+                    session.apply(op, s, p, o)
+                    applied += 1
+                    if args.emit_every and applied % args.emit_every == 0:
+                        emit(f"after {applied:,} updates")
+            session.changelog.sync()
+            print(f"applied {applied:,} updates from {args.updates}")
+
+        emit("final")
+        dictionary = session.maintainer.dictionary
+        for supported in session.pertinent_cinds()[: args.limit]:
+            print(" ", supported.render(dictionary))
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(session.document_json())
+            print(f"full result written to {args.output}")
+        if args.dump_dataset:
+            count = write_ntriples_file(
+                session.store.as_dataset(), args.dump_dataset
+            )
+            print(f"materialized {count:,} live triples to {args.dump_dataset}")
+        if args.compact_on_exit:
+            session.compact()
+            print(f"checkpointed at seq {session.applied_seq:,}")
+    return 0
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
     dataset = _load_input(args.input, scale=args.scale, storage=args.storage)
     h = args.support if args.support > 0 else None
@@ -718,6 +813,63 @@ def build_parser() -> argparse.ArgumentParser:
     )
     snapshot_info_parser.add_argument("path", help="snapshot file (.snap)")
 
+    stream = sub.add_parser(
+        "stream",
+        help="streaming discovery: durable changelog + add/remove maintenance",
+    )
+    stream.add_argument(
+        "state_dir",
+        help="durable stream state directory (changelog + checkpoints); "
+        "reopening it resumes from the last checkpoint",
+    )
+    stream.add_argument(
+        "-s", "--support", type=int, default=25, help="support threshold h"
+    )
+    stream.add_argument(
+        "--scope", choices=("full", "predicates"), default="full",
+        help="condition scope ('predicates' = the paper's Freebase setting)",
+    )
+    stream.add_argument(
+        "--init", default=None,
+        help="initial dataset (N-Triples/Turtle file or dataset:<Name>) "
+        "bulk-loaded as logged adds on first open; ignored on resume",
+    )
+    stream.add_argument(
+        "--scale", type=float, default=1.0, help="scale for dataset: --init"
+    )
+    stream.add_argument(
+        "--updates", default=None,
+        help="JSON-lines update script: one {\"op\", \"s\", \"p\", \"o\"} "
+        "object per line, op in {add, remove}",
+    )
+    stream.add_argument(
+        "--emit-every", type=int, default=0,
+        help="print a result summary every N applied updates (0 = only at end)",
+    )
+    stream.add_argument(
+        "--compact-every", type=int, default=0,
+        help="checkpoint the stream state every N applied records "
+        "(0 = only with --compact-on-exit)",
+    )
+    stream.add_argument(
+        "--compact-on-exit", action="store_true", default=False,
+        help="write a final checkpoint before exiting",
+    )
+    stream.add_argument(
+        "--no-fsync", action="store_true", default=False,
+        help="skip per-append fsync (faster, loses the durability guarantee)",
+    )
+    stream.add_argument("-n", "--limit", type=int, default=20)
+    stream.add_argument(
+        "-o", "--output", default=None,
+        help="write the final result document as JSON (byte-identical to "
+        "'discover -o' on the materialized dataset)",
+    )
+    stream.add_argument(
+        "--dump-dataset", default=None,
+        help="also write the live (materialized) triples as N-Triples",
+    )
+
     profile = sub.add_parser(
         "profile", help="full dataset profiling report (ProLOD++-style)"
     )
@@ -753,6 +905,7 @@ _COMMANDS = {
     "profile": cmd_profile,
     "serve": cmd_serve,
     "snapshot": cmd_snapshot,
+    "stream": cmd_stream,
 }
 
 

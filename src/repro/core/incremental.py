@@ -28,7 +28,7 @@ dataset.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple, Union
 
 from repro.core.cind import Capture, SupportedCIND
@@ -43,14 +43,36 @@ from repro.rdf.model import Dataset, EncodedTriple, TermDictionary, Triple
 
 @dataclass
 class MaintenanceStats:
-    """Work counters across the maintainer's lifetime."""
+    """Work counters across a maintainer's lifetime.
+
+    Shared by the add-only :class:`IncrementalRDFind` and the
+    add/remove :class:`~repro.streaming.maintainer.StreamingRDFind`;
+    the removal-side counters (``triples_removed``,
+    ``conditions_deactivated``, ``evidences_retracted``,
+    ``removals_ignored``) and ``compactions`` stay zero under the
+    add-only maintainer.
+    """
 
     triples_added: int = 0
+    triples_removed: int = 0
     duplicates_ignored: int = 0
+    removals_ignored: int = 0
     conditions_activated: int = 0
+    conditions_deactivated: int = 0
     evidences_applied: int = 0
+    evidences_retracted: int = 0
     dependents_recomputed: int = 0
+    compactions: int = 0
     queries: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        """JSON-safe rendering of every counter.
+
+        Mirrors :meth:`repro.dataflow.metrics.StageMetrics.to_dict`:
+        plain ints under the field names, so the job server can stream
+        maintenance progress exactly like it streams job metrics.
+        """
+        return {spec.name: getattr(self, spec.name) for spec in fields(self)}
 
 
 class IncrementalRDFind:
@@ -58,6 +80,9 @@ class IncrementalRDFind:
 
     >>> maintainer = IncrementalRDFind(h=2)
     >>> maintainer.add(("patrick", "rdf:type", "gradStudent"))
+    True
+    >>> maintainer.add(("patrick", "rdf:type", "gradStudent"))
+    False
     >>> pertinent = maintainer.pertinent_cinds()
     """
 

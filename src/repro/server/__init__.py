@@ -17,6 +17,7 @@ Layering (each module only knows the one below it)::
     service.py   admission/queueing, the worker pool, the result cache
     store.py     durable job records + artifacts next to checkpoint dirs
     worker.py    the per-job subprocess (checkpointed run_discovery path)
+    streams.py   /streams endpoints: live add/remove maintenance sessions
     client.py    stdlib urllib client used by tests, CI, and scripts
 
 Stdlib-only by design — the server adds no dependency the reproduction
@@ -27,6 +28,7 @@ from repro.server.client import ServerClient, ServerError
 from repro.server.routes import DiscoveryServer
 from repro.server.service import JobService, ServiceConfig
 from repro.server.store import JobRecord, JobRequest, JobStore
+from repro.server.streams import StreamManager
 
 __all__ = [
     "DiscoveryServer",
@@ -37,4 +39,5 @@ __all__ = [
     "ServerClient",
     "ServerError",
     "ServiceConfig",
+    "StreamManager",
 ]

@@ -131,6 +131,44 @@ class ServerClient:
     def cancel(self, job_id: str) -> Dict[str, Any]:
         return self._request("POST", f"/jobs/{job_id}/cancel", body={})["job"]
 
+    # -- streaming endpoints -------------------------------------------
+
+    def streams(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/streams")["streams"]
+
+    def create_stream(self, **fields: Any) -> Dict[str, Any]:
+        """Create a streaming-maintenance stream.
+
+        Fields: ``support_threshold`` (required), ``scope``
+        (full/predicates), ``compact_every``.
+        """
+        return self._request("POST", "/streams", body=fields)["stream"]
+
+    def stream(self, stream_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/streams/{stream_id}")["stream"]
+
+    def post_deltas(
+        self, stream_id: str, deltas: List[Dict[str, str]]
+    ) -> Dict[str, Any]:
+        """Apply ``[{"op", "s", "p", "o"}, ...]`` to a stream."""
+        return self._request(
+            "POST", f"/streams/{stream_id}/deltas", body={"deltas": deltas}
+        )
+
+    def stream_results(self, stream_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/streams/{stream_id}/results")
+
+    def raw_stream_results(self, stream_id: str) -> bytes:
+        """The stream's batch-identical result document bytes."""
+        return self._request(
+            "GET", f"/streams/{stream_id}/results?raw=1", raw=True
+        )
+
+    def compact_stream(self, stream_id: str) -> Dict[str, Any]:
+        return self._request(
+            "POST", f"/streams/{stream_id}/compact", body={}
+        )["stream"]
+
     # -- polling helpers -----------------------------------------------
 
     def wait_ready(self, timeout: float = 30.0, poll: float = 0.1) -> Dict[str, Any]:

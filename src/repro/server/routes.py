@@ -17,6 +17,14 @@ Routes::
                                   (byte-identical to `rdfind discover -o`)
     POST /jobs/<id>/cancel        cancel a queued/running job
 
+    GET  /streams                 all streaming-maintenance streams
+    POST /streams                 create a stream (h/scope/compact cadence)
+    GET  /streams/<id>            status + MaintenanceStats counters
+    POST /streams/<id>/deltas     apply a batch of add/remove deltas
+    GET  /streams/<id>/results    current pertinent CINDs; ?raw=1 returns
+                                  the batch-identical result document
+    POST /streams/<id>/compact    checkpoint the stream state now
+
 Error mapping: BadRequest -> 400, UnknownJob -> 404, Conflict -> 409,
 OverCapacity -> 429 (with ``Retry-After``), NotAdmitting -> 503.  Every
 error body is ``{"error": "..."}``.
@@ -25,6 +33,7 @@ error body is ``{"error": "..."}``.
 from __future__ import annotations
 
 import json
+import os
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
@@ -40,6 +49,7 @@ from repro.server.service import (
     UnknownJobError,
 )
 from repro.server.store import JobRequest
+from repro.server.streams import StreamManager
 
 __all__ = ["DiscoveryServer"]
 
@@ -55,6 +65,7 @@ class _JsonHandler(BaseHTTPRequestHandler):
 
     # Set by DiscoveryServer when the handler class is specialized.
     service: JobService = None  # type: ignore[assignment]
+    streams: StreamManager = None  # type: ignore[assignment]
     quiet: bool = True
 
     # -- plumbing ------------------------------------------------------
@@ -151,17 +162,29 @@ class _JsonHandler(BaseHTTPRequestHandler):
                 return self._get_datasets
             if path == "/jobs":
                 return self._get_jobs
+            if path == "/streams":
+                return self._get_streams
             parts = path.strip("/").split("/")
             if len(parts) == 2 and parts[0] == "jobs":
                 return lambda query: self._get_job(parts[1], query)
             if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "result":
                 return lambda query: self._get_result(parts[1], query)
+            if len(parts) == 2 and parts[0] == "streams":
+                return lambda query: self._get_stream(parts[1], query)
+            if len(parts) == 3 and parts[0] == "streams" and parts[2] == "results":
+                return lambda query: self._get_stream_results(parts[1], query)
         elif method == "POST":
             if path == "/jobs":
                 return self._post_job
+            if path == "/streams":
+                return self._post_stream
             parts = path.strip("/").split("/")
             if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "cancel":
                 return lambda query: self._post_cancel(parts[1], query)
+            if len(parts) == 3 and parts[0] == "streams" and parts[2] == "deltas":
+                return lambda query: self._post_stream_deltas(parts[1], query)
+            if len(parts) == 3 and parts[0] == "streams" and parts[2] == "compact":
+                return lambda query: self._post_stream_compact(parts[1], query)
         return None
 
     # -- endpoints -----------------------------------------------------
@@ -225,6 +248,37 @@ class _JsonHandler(BaseHTTPRequestHandler):
         record = self.service.cancel(job_id)
         self._send_json(200, {"job": record.to_json()})
 
+    # -- streaming endpoints -------------------------------------------
+
+    def _get_streams(self, _query: Dict[str, str]) -> None:
+        self._send_json(200, {"streams": self.streams.list_streams()})
+
+    def _post_stream(self, _query: Dict[str, str]) -> None:
+        body = self._read_body()
+        if not isinstance(body, dict):
+            raise BadRequestError("stream config must be a JSON object")
+        self._send_json(201, {"stream": self.streams.create(body)})
+
+    def _get_stream(self, stream_id: str, _query: Dict[str, str]) -> None:
+        self._send_json(200, {"stream": self.streams.status(stream_id)})
+
+    def _get_stream_results(self, stream_id: str, query: Dict[str, str]) -> None:
+        if query.get("raw") in ("1", "true", "yes"):
+            raw = self.streams.raw_results(stream_id)
+            self._send_bytes(200, raw, "application/json; charset=utf-8")
+            return
+        self._send_json(200, self.streams.results(stream_id))
+
+    def _post_stream_deltas(self, stream_id: str, _query: Dict[str, str]) -> None:
+        body = self._read_body()
+        if not isinstance(body, dict):
+            raise BadRequestError("delta batch must be a JSON object")
+        self._send_json(200, self.streams.apply_deltas(stream_id, body))
+
+    def _post_stream_compact(self, stream_id: str, _query: Dict[str, str]) -> None:
+        self._read_body()  # drain; compaction takes no body
+        self._send_json(200, {"stream": self.streams.compact(stream_id)})
+
 
 class DiscoveryServer:
     """Owns the HTTP server + service pair.
@@ -243,10 +297,16 @@ class DiscoveryServer:
         host: str = "127.0.0.1",
         port: int = 0,
         quiet: bool = True,
+        streams: Optional[StreamManager] = None,
     ) -> None:
         self.service = service
+        self.streams = streams or StreamManager(
+            os.path.join(service.config.job_dir, "streams")
+        )
         handler = type(
-            "BoundJsonHandler", (_JsonHandler,), {"service": service, "quiet": quiet}
+            "BoundJsonHandler",
+            (_JsonHandler,),
+            {"service": service, "streams": self.streams, "quiet": quiet},
         )
         self.httpd = ThreadingHTTPServer((host, port), handler)
         self.httpd.daemon_threads = True
@@ -278,6 +338,7 @@ class DiscoveryServer:
         finally:
             self.httpd.server_close()
             self.service.stop(graceful=True)
+            self.streams.close()
 
     def shutdown(self) -> None:
         """Unblock `serve_forever` (safe to call from a signal handler
@@ -292,3 +353,4 @@ class DiscoveryServer:
             self._thread.join(timeout=10.0)
             self._thread = None
         self.service.stop(graceful=graceful)
+        self.streams.close()

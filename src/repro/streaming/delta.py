@@ -1,0 +1,161 @@
+"""The mutable triple overlay: set-semantics presence with retraction.
+
+:class:`~repro.storage.columnar.EncodedDataset` is append-only by design
+(three parallel id columns); a mutating stream needs an overlay that can
+*retract*.  :class:`DeltaStore` keeps the live triple set as an
+insertion-ordered map over a shared :class:`TermDictionary`, plus a
+reference count per term id (how many live triple slots use the term),
+so a removed triple actually disappears — from the logical dataset *and*
+from the accounting — instead of lingering as a tombstone.
+
+Two order guarantees matter downstream:
+
+* live triples iterate in **insertion order** (a re-added triple moves
+  to the end, exactly like re-appending a line to an N-Triples file), and
+* :meth:`materialize` re-encodes through a **fresh** dictionary in that
+  order — byte-for-byte the columns a batch load of the materialized
+  dataset would build, which is what makes the streaming result document
+  diffable against batch ``discover -o``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple, Union
+
+from repro.rdf.model import (
+    Dataset,
+    EncodedDataset,
+    EncodedTriple,
+    TermDictionary,
+    Triple,
+)
+
+__all__ = ["DeltaStore"]
+
+TripleLike = Union[Triple, Tuple[str, str, str]]
+
+
+@dataclass
+class DeltaStoreStats:
+    """Apply-side counters (the maintainer keeps the semantic ones)."""
+
+    adds_applied: int = 0
+    removes_applied: int = 0
+    duplicate_adds: int = 0
+    missing_removes: int = 0
+
+
+class DeltaStore:
+    """Insertion-ordered live triple set with term reference counts."""
+
+    def __init__(self, dictionary: Optional[TermDictionary] = None) -> None:
+        self.dictionary = dictionary if dictionary is not None else TermDictionary()
+        self.stats = DeltaStoreStats()
+        #: triple id -> encoded triple, in insertion order (dict order).
+        self._live: Dict[int, EncodedTriple] = {}
+        #: encoded triple -> its current triple id.
+        self._ids: Dict[EncodedTriple, int] = {}
+        #: term id -> number of live (triple, position) slots using it.
+        self._term_refs: Counter = Counter()
+        self._next_id = 0
+
+    # -- mutation ------------------------------------------------------
+
+    def add(self, triple: TripleLike) -> Optional[Tuple[int, EncodedTriple]]:
+        """Insert one triple; ``None`` if it is already live (set semantics)."""
+        encoded = self.dictionary.encode_triple(triple)
+        if encoded in self._ids:
+            self.stats.duplicate_adds += 1
+            return None
+        triple_id = self._next_id
+        self._next_id += 1
+        self._ids[encoded] = triple_id
+        self._live[triple_id] = encoded
+        for term_id in encoded:
+            self._term_refs[term_id] += 1
+        self.stats.adds_applied += 1
+        return triple_id, encoded
+
+    def remove(self, triple: TripleLike) -> Optional[Tuple[int, EncodedTriple]]:
+        """Retract one triple; ``None`` if it is not live.
+
+        Unknown terms are looked up without interning, so removing a
+        triple the store has never seen does not grow the dictionary.
+        """
+        lookup = self.dictionary.lookup
+        ids = (lookup(triple[0]), lookup(triple[1]), lookup(triple[2]))
+        if None in ids:
+            self.stats.missing_removes += 1
+            return None
+        encoded = EncodedTriple(*ids)
+        triple_id = self._ids.pop(encoded, None)
+        if triple_id is None:
+            self.stats.missing_removes += 1
+            return None
+        del self._live[triple_id]
+        for term_id in encoded:
+            remaining = self._term_refs[term_id] - 1
+            if remaining:
+                self._term_refs[term_id] = remaining
+            else:
+                del self._term_refs[term_id]
+        self.stats.removes_applied += 1
+        return triple_id, encoded
+
+    # -- lookup --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def __contains__(self, triple: TripleLike) -> bool:
+        lookup = self.dictionary.lookup
+        ids = (lookup(triple[0]), lookup(triple[1]), lookup(triple[2]))
+        return None not in ids and EncodedTriple(*ids) in self._ids
+
+    def triple(self, triple_id: int) -> EncodedTriple:
+        """The live triple behind ``triple_id`` (KeyError if retracted)."""
+        return self._live[triple_id]
+
+    def live(self) -> Iterator[EncodedTriple]:
+        """Live triples in insertion order (shared-dictionary ids)."""
+        return iter(self._live.values())
+
+    @property
+    def live_terms(self) -> int:
+        """Distinct terms still referenced by at least one live triple."""
+        return len(self._term_refs)
+
+    @property
+    def dead_terms(self) -> int:
+        """Interned terms no live triple references (dictionary garbage)."""
+        return len(self.dictionary) - len(self._term_refs)
+
+    # -- materialization -----------------------------------------------
+
+    def materialize(self, name: str = "") -> EncodedDataset:
+        """The live triples as a *freshly encoded* columnar dataset.
+
+        Ids are assigned first-seen in insertion order — identical to
+        parsing the materialized N-Triples file from scratch — so batch
+        discovery over this dataset sorts and renders exactly as it
+        would over a cold load.
+        """
+        fresh = EncodedDataset(dictionary=TermDictionary(), name=name)
+        decode = self.dictionary.decode
+        for s, p, o in self._live.values():
+            fresh.append_terms(decode(s), decode(p), decode(o))
+        return fresh
+
+    def as_dataset(self, name: str = "") -> Dataset:
+        """The live triples as a decoded string :class:`Dataset`."""
+        decode = self.dictionary.decode_triple
+        return Dataset((decode(t) for t in self._live.values()), name=name)
+
+    def __repr__(self) -> str:
+        return (
+            f"<DeltaStore {len(self._live):,} live triples, "
+            f"{self.live_terms:,} live terms "
+            f"({self.dead_terms:,} dead)>"
+        )

@@ -1,0 +1,204 @@
+"""StreamSession: one durable streaming-discovery state directory.
+
+Layout::
+
+    <directory>/
+        changelog/      ChangeLog segments (the source of truth)
+        checkpoints/    StreamCheckpointer manifest + pickled state
+
+Opening a session recovers: load the newest checkpoint whose
+``(h, scope)`` fingerprint matches, then replay only the changelog
+records past its position (``replayed_records`` says how many — the
+restart-cost number the compaction cadence controls).  Every accepted
+update is appended to the changelog *before* it touches the maintainer,
+so the maintainer is always reconstructible from (checkpoint, log).
+
+This is the engine under both front doors: ``rdfind stream`` (CLI) and
+the job server's ``/streams`` endpoints.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.core.cind import SupportedCIND
+from repro.core.conditions import ConditionScope
+from repro.rdf.model import Triple
+from repro.streaming.changelog import OP_ADD, OP_REMOVE, ChangeLog, ChangeRecord
+from repro.streaming.compaction import StreamCheckpointer
+from repro.streaming.maintainer import StreamingRDFind
+
+__all__ = ["StreamSession"]
+
+Delta = Union[Tuple[str, str, str, str], Dict[str, str]]
+
+
+def _normalize_delta(delta: Delta) -> Tuple[str, str, str, str]:
+    """``(op, s, p, o)`` from either tuple or ``{"op", "s", "p", "o"}`` form."""
+    if isinstance(delta, dict):
+        try:
+            return (
+                str(delta["op"]),
+                str(delta["s"]),
+                str(delta["p"]),
+                str(delta["o"]),
+            )
+        except KeyError as error:
+            raise ValueError(f"delta is missing field {error.args[0]!r}")
+    op, s, p, o = delta
+    return str(op), str(s), str(p), str(o)
+
+
+class StreamSession:
+    """Durable, resumable add/remove stream over one state directory."""
+
+    def __init__(
+        self,
+        directory: str,
+        h: int,
+        scope: Optional[ConditionScope] = None,
+        compact_every: int = 0,
+        max_segment_bytes: int = 4 << 20,
+        fsync: bool = True,
+    ) -> None:
+        self.directory = directory
+        self.h = h
+        self.scope = scope if scope is not None else ConditionScope.full()
+        #: Compact after this many applied records (0 = only on demand).
+        self.compact_every = compact_every
+        os.makedirs(directory, exist_ok=True)
+        self.changelog = ChangeLog(
+            os.path.join(directory, "changelog"),
+            max_segment_bytes=max_segment_bytes,
+            fsync=fsync,
+        )
+        self.checkpointer = StreamCheckpointer(
+            os.path.join(directory, "checkpoints")
+        )
+
+        loaded = self.checkpointer.load(h, self.scope)
+        if loaded is not None:
+            self.maintainer, self.applied_seq = loaded
+            self.resumed_from_checkpoint = True
+        else:
+            self.maintainer = StreamingRDFind(h, scope=self.scope)
+            self.applied_seq = 0
+            self.resumed_from_checkpoint = False
+
+        self.replayed_records = 0
+        for record in self.changelog.replay(after_seq=self.applied_seq):
+            self._apply_record(record)
+            self.replayed_records += 1
+        self._since_compaction = self.replayed_records
+
+    # -- applying updates ----------------------------------------------
+
+    def _apply_record(self, record: ChangeRecord) -> bool:
+        changed = self.maintainer.apply(record.op, record.triple)
+        self.applied_seq = record.seq
+        return changed
+
+    def apply(self, op: str, s: str, p: str, o: str) -> bool:
+        """Log and apply one update; returns whether state changed.
+
+        Duplicate adds and missing removes are logged too — the log
+        records what was *requested*; replay converges regardless
+        because the maintainer ignores them idempotently.
+        """
+        seq = self.changelog.append(op, s, p, o)
+        changed = self.maintainer.apply(op, (s, p, o))
+        self.applied_seq = seq
+        self._since_compaction += 1
+        if self.compact_every and self._since_compaction >= self.compact_every:
+            self.compact()
+        return changed
+
+    def add(self, s: str, p: str, o: str) -> bool:
+        return self.apply(OP_ADD, s, p, o)
+
+    def remove(self, s: str, p: str, o: str) -> bool:
+        return self.apply(OP_REMOVE, s, p, o)
+
+    def apply_batch(self, deltas: Iterable[Delta]) -> Dict[str, int]:
+        """Apply a batch of deltas, syncing the log once at the end."""
+        counts = {"applied": 0, "added": 0, "removed": 0, "ignored": 0}
+        for delta in deltas:
+            op, s, p, o = _normalize_delta(delta)
+            changed = self.apply(op, s, p, o)
+            counts["applied"] += 1
+            if not changed:
+                counts["ignored"] += 1
+            elif op == OP_ADD:
+                counts["added"] += 1
+            else:
+                counts["removed"] += 1
+        self.changelog.sync()
+        return counts
+
+    def load_initial(self, triples: Iterable) -> int:
+        """Bulk-load an initial dataset as logged adds; returns new count."""
+        new = 0
+        for triple in triples:
+            if isinstance(triple, Triple):
+                s, p, o = triple.s, triple.p, triple.o
+            else:
+                s, p, o = triple
+            if self.apply(OP_ADD, s, p, o):
+                new += 1
+        self.changelog.sync()
+        return new
+
+    # -- compaction ----------------------------------------------------
+
+    def compact(self) -> None:
+        """Checkpoint the maintainer at the current changelog position."""
+        self.changelog.sync()
+        self.checkpointer.save(self.maintainer, self.applied_seq)
+        self.maintainer.stats.compactions += 1
+        self._since_compaction = 0
+
+    # -- queries -------------------------------------------------------
+
+    def pertinent_cinds(self) -> List[SupportedCIND]:
+        return self.maintainer.pertinent_cinds()
+
+    def result_document(self) -> Dict:
+        return self.maintainer.result_document()
+
+    def document_json(self) -> str:
+        return self.maintainer.document_json()
+
+    def status(self) -> Dict:
+        """JSON-safe session status (the server's stream-status body)."""
+        return {
+            "support_threshold": self.h,
+            "triples": self.maintainer.triples,
+            "last_seq": self.applied_seq,
+            "changelog_seq": self.changelog.last_seq,
+            "changelog_segments": self.changelog.segment_count,
+            "changelog_bytes": self.changelog.nbytes(),
+            "resumed_from_checkpoint": self.resumed_from_checkpoint,
+            "replayed_records": self.replayed_records,
+            "compact_every": self.compact_every,
+            "stats": self.maintainer.stats.to_dict(),
+        }
+
+    @property
+    def store(self):
+        return self.maintainer.store
+
+    def close(self) -> None:
+        self.changelog.close()
+
+    def __enter__(self) -> "StreamSession":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"<StreamSession {self.directory!r} h={self.h}: "
+            f"seq {self.applied_seq}, {self.maintainer.triples:,} triples>"
+        )

@@ -1,0 +1,236 @@
+"""StreamSession durability: compaction, crash-resume, and the CLI door."""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.streaming.session import StreamSession
+from tests.conftest import random_rdf
+
+SRC_DIR = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+
+
+def scripted_ops(seed, n_ops=60):
+    import random
+
+    rng = random.Random(seed)
+    pool = [(f"s{rng.randrange(8)}", f"p{rng.randrange(4)}", f"o{rng.randrange(8)}")
+            for _ in range(40)]
+    live = []
+    ops = []
+    for _ in range(n_ops):
+        if live and rng.random() < 0.35:
+            triple = rng.choice(live)
+            live.remove(triple)
+            ops.append(("remove",) + triple)
+        else:
+            triple = rng.choice(pool)
+            if triple not in live:
+                live.append(triple)
+            ops.append(("add",) + triple)
+    return ops
+
+
+class TestResume:
+    def test_reopen_replays_full_log_without_checkpoint(self, tmp_path):
+        directory = str(tmp_path / "state")
+        with StreamSession(directory, h=2) as session:
+            for op, s, p, o in scripted_ops(1):
+                session.apply(op, s, p, o)
+            tail = session.applied_seq
+            expected = session.document_json()
+        with StreamSession(directory, h=2) as session:
+            assert not session.resumed_from_checkpoint
+            assert session.replayed_records == tail
+            assert session.document_json() == expected
+
+    def test_checkpoint_bounds_replay_to_suffix(self, tmp_path):
+        directory = str(tmp_path / "state")
+        with StreamSession(directory, h=2) as session:
+            for op, s, p, o in scripted_ops(2, n_ops=50):
+                session.apply(op, s, p, o)
+            session.compact()
+            for op, s, p, o in scripted_ops(3, n_ops=12):
+                session.apply(op, s, p, o)
+            session.changelog.sync()
+            expected = session.document_json()
+        with StreamSession(directory, h=2) as session:
+            assert session.resumed_from_checkpoint
+            assert session.replayed_records == 12
+            assert session.document_json() == expected
+
+    def test_compact_every_cadence(self, tmp_path):
+        directory = str(tmp_path / "state")
+        with StreamSession(directory, h=2, compact_every=20) as session:
+            for op, s, p, o in scripted_ops(4, n_ops=50):
+                session.apply(op, s, p, o)
+            assert session.maintainer.stats.compactions == 2
+        with StreamSession(directory, h=2) as session:
+            assert session.resumed_from_checkpoint
+            assert session.replayed_records == 10
+
+    def test_mismatched_h_falls_back_to_full_replay(self, tmp_path):
+        directory = str(tmp_path / "state")
+        with StreamSession(directory, h=2) as session:
+            for op, s, p, o in scripted_ops(5, n_ops=30):
+                session.apply(op, s, p, o)
+            session.compact()
+        with pytest.warns(UserWarning, match="fingerprint mismatch"):
+            with StreamSession(directory, h=3) as session:
+                assert not session.resumed_from_checkpoint
+                assert session.replayed_records == 30
+
+    def test_sigkill_resumes_from_last_checkpoint(self, tmp_path):
+        """A SIGKILLed writer loses nothing durable: the restarted session
+        replays only the changelog suffix and matches a full replay."""
+        directory = str(tmp_path / "state")
+        child = textwrap.dedent(
+            """
+            import os, signal, sys
+            sys.path.insert(0, sys.argv[1])
+            sys.path.insert(0, sys.argv[3])
+            from repro.streaming.session import StreamSession
+            from tests.test_stream_session import scripted_ops
+            session = StreamSession(sys.argv[2], h=2, compact_every=25)
+            for op, s, p, o in scripted_ops(6, n_ops=63):
+                session.apply(op, s, p, o)
+            session.changelog.sync()
+            print(session.applied_seq, flush=True)
+            os.kill(os.getpid(), signal.SIGKILL)
+            """
+        )
+        repo_root = os.path.dirname(SRC_DIR)
+        proc = subprocess.run(
+            [sys.executable, "-c", child, SRC_DIR, directory, repo_root],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == -9, proc.stderr
+        tail = int(proc.stdout.split()[-1])
+        assert tail == 63
+
+        with StreamSession(directory, h=2) as session:
+            assert session.resumed_from_checkpoint
+            # checkpoints at 25 and 50; only 51..63 replays
+            assert session.replayed_records == 13
+            assert session.applied_seq == 63
+            resumed = session.document_json()
+
+        # Byte-identical to a from-scratch replay of the whole changelog.
+        fresh_dir = str(tmp_path / "fresh")
+        os.makedirs(fresh_dir)
+        os.rename(
+            os.path.join(directory, "changelog"),
+            os.path.join(fresh_dir, "changelog"),
+        )
+        with StreamSession(fresh_dir, h=2) as session:
+            assert not session.resumed_from_checkpoint
+            assert session.replayed_records == 63
+            assert session.document_json() == resumed
+
+
+class TestBatchAndStatus:
+    def test_apply_batch_counts(self, tmp_path):
+        with StreamSession(str(tmp_path / "state"), h=1) as session:
+            counts = session.apply_batch(
+                [
+                    {"op": "add", "s": "a", "p": "b", "o": "c"},
+                    {"op": "add", "s": "a", "p": "b", "o": "c"},
+                    ("remove", "a", "b", "c"),
+                    {"op": "remove", "s": "x", "p": "y", "o": "z"},
+                ]
+            )
+            assert counts == {
+                "applied": 4,
+                "added": 1,
+                "removed": 1,
+                "ignored": 2,
+            }
+
+    def test_status_is_json_safe(self, tmp_path):
+        with StreamSession(str(tmp_path / "state"), h=2) as session:
+            session.load_initial(random_rdf(7, n_triples=15))
+            status = session.status()
+            json.dumps(status)  # must not raise
+            assert status["support_threshold"] == 2
+            assert status["triples"] == session.maintainer.triples
+            assert status["stats"]["triples_added"] > 0
+
+
+class TestCliDoor:
+    def test_stream_cli_matches_discover(self, tmp_path, capsys):
+        """The in-process `rdfind stream` run is byte-identical to
+        `rdfind discover -o` on the dataset it materializes."""
+        from repro.rdf.model import Dataset
+        from repro.rdf.ntriples import write_ntriples_file
+
+        triples = list(random_rdf(8, n_triples=60))
+        split = int(len(triples) * 0.8)
+        write_ntriples_file(
+            Dataset(triples[:split], name="init"), str(tmp_path / "initial.nt")
+        )
+        updates = [
+            {"op": "add", "s": t.s, "p": t.p, "o": t.o}
+            for t in triples[split:]
+        ] + [
+            {"op": "remove", "s": t.s, "p": t.p, "o": t.o}
+            for t in triples[: split : 4]
+        ]
+        with open(tmp_path / "updates.jsonl", "w", encoding="utf-8") as handle:
+            for update in updates:
+                handle.write(json.dumps(update) + "\n")
+
+        assert cli_main(
+            [
+                "stream",
+                str(tmp_path / "state"),
+                "-s", "2",
+                "--init", str(tmp_path / "initial.nt"),
+                "--updates", str(tmp_path / "updates.jsonl"),
+                "--compact-every", "30",
+                "-n", "0",
+                "-o", str(tmp_path / "streamed.json"),
+                "--dump-dataset", str(tmp_path / "materialized.nt"),
+            ]
+        ) == 0
+        assert cli_main(
+            [
+                "discover",
+                str(tmp_path / "materialized.nt"),
+                "-s", "2",
+                "--limit", "0",
+                "-o", str(tmp_path / "batch.json"),
+            ]
+        ) == 0
+        capsys.readouterr()
+        streamed = (tmp_path / "streamed.json").read_bytes()
+        batch = (tmp_path / "batch.json").read_bytes()
+        assert streamed == batch
+
+    def test_stream_cli_resumes_and_ignores_init(self, tmp_path, capsys):
+        state = str(tmp_path / "state")
+        assert cli_main(
+            ["stream", state, "-s", "2", "--compact-on-exit", "-n", "0"]
+        ) == 0
+        with StreamSession(state, h=2) as session:
+            session.load_initial(random_rdf(9, n_triples=10))
+        assert cli_main(["stream", state, "-s", "2", "-n", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "resumed at seq 10" in out
+
+    def test_stream_cli_rejects_bad_update_line(self, tmp_path):
+        (tmp_path / "bad.jsonl").write_text('{"op": "add", "s": "x"}\n')
+        with pytest.raises(SystemExit, match="bad delta"):
+            cli_main(
+                [
+                    "stream",
+                    str(tmp_path / "state"),
+                    "-s", "2",
+                    "--updates", str(tmp_path / "bad.jsonl"),
+                ]
+            )

@@ -1,0 +1,206 @@
+"""Tests for StreamingRDFind: add/remove maintenance vs the batch oracle."""
+
+import json
+import random
+
+import pytest
+
+from repro.core.cind import decode_cind
+from repro.core.discovery import RDFind, RDFindConfig
+from repro.core.serialization import result_to_dict
+from repro.core.validation import NaiveProfiler
+from repro.streaming import DeltaStore, StreamingRDFind
+from tests.conftest import random_rdf
+
+
+def oracle_decoded(dataset, h):
+    """Ground truth under the maintainer's semantics (no AR rewriting)."""
+    encoded = dataset.encode()
+    profiler = NaiveProfiler(encoded, prune_ar_equivalents=False)
+    return {
+        (decode_cind(sc.cind, encoded.dictionary), sc.support)
+        for sc in profiler.pertinent_cinds(h)
+    }
+
+
+def maintained_decoded(maintainer):
+    return {
+        (decode_cind(sc.cind, maintainer.dictionary), sc.support)
+        for sc in maintainer.pertinent_cinds()
+    }
+
+
+def mixed_ops(seed, n_triples=40, n_ops=110):
+    """An interleaved add/remove script with duplicate edges thrown in."""
+    rng = random.Random(seed)
+    pool = list(random_rdf(seed, n_triples=n_triples))
+    live = []
+    ops = []
+    for _ in range(n_ops):
+        if live and rng.random() < 0.4:
+            triple = rng.choice(live)
+            live.remove(triple)
+            ops.append(("remove", triple))
+            if rng.random() < 0.15:  # duplicate remove
+                ops.append(("remove", triple))
+        else:
+            triple = rng.choice(pool)
+            if triple not in live:
+                live.append(triple)
+            ops.append(("add", triple))
+    return ops
+
+
+class TestAgainstOracle:
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("h", [1, 2])
+    def test_every_state_matches_oracle(self, seed, h):
+        """After *every* add/remove, the maintainer equals a fresh batch run
+        on the materialized dataset — the ISSUE's correctness bar."""
+        maintainer = StreamingRDFind(h=h)
+        for op, triple in mixed_ops(seed + 2000, n_triples=20, n_ops=60):
+            maintainer.apply(op, triple)
+            expected = oracle_decoded(maintainer.as_dataset(), h)
+            assert maintained_decoded(maintainer) == expected
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_final_state_matches_oracle(self, seed):
+        maintainer = StreamingRDFind(h=2)
+        for op, triple in mixed_ops(seed + 2100):
+            maintainer.apply(op, triple)
+        assert maintained_decoded(maintainer) == oracle_decoded(
+            maintainer.as_dataset(), 2
+        )
+
+    def test_remove_everything_leaves_empty_state(self):
+        maintainer = StreamingRDFind(h=1)
+        triples = list(random_rdf(2200, n_triples=25))
+        for triple in triples:
+            maintainer.add(triple)
+        for triple in triples:
+            maintainer.remove(triple)
+        assert maintainer.triples == 0
+        assert maintainer.pertinent_cinds() == []
+        assert maintainer.broad_cinds() == {}
+
+
+class TestBatchByteIdentity:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_document_matches_batch_pipeline(self, seed):
+        """result_document() must serialize byte-identically to the full
+        batch pipeline run on the materialized dataset."""
+        maintainer = StreamingRDFind(h=2)
+        for op, triple in mixed_ops(seed + 2300):
+            maintainer.apply(op, triple)
+        batch = RDFind(RDFindConfig(support_threshold=2)).discover(
+            maintainer.materialize()
+        )
+        expected = json.dumps(
+            result_to_dict(batch), ensure_ascii=False, indent=1
+        )
+        assert maintainer.document_json() == expected
+
+
+class TestThresholdChurn:
+    """Satellite 3: a condition oscillating across h must activate,
+    backfill, deactivate, and reactivate correctly."""
+
+    def test_oscillation_across_threshold(self):
+        maintainer = StreamingRDFind(h=2)
+
+        def rendered():
+            return {maintainer.render(sc) for sc in maintainer.pertinent_cinds()}
+
+        maintainer.add(("a", "p", "x"))  # p=p freq 1: inactive
+        maintainer.add(("a", "q", "x"))
+        maintainer.add(("b", "q", "y"))  # p=q active at 2
+        assert not any("p=p" in line for line in rendered())
+
+        maintainer.add(("b", "p", "y"))  # p=p crosses h: backfill picks up 'a'
+        assert "(s, p=p) ⊆ (s, p=q)  [support=2]" in rendered()
+
+        deactivations = maintainer.stats.conditions_deactivated
+        assert maintainer.remove(("b", "p", "y")) is True  # p=p back below h
+        assert maintainer.stats.conditions_deactivated > deactivations
+        assert not any("p=p" in line for line in rendered())
+
+        maintainer.add(("b", "p", "y"))  # reactivate: backfill again
+        assert "(s, p=p) ⊆ (s, p=q)  [support=2]" in rendered()
+
+        # The whole dance must still agree with the oracle.
+        assert maintained_decoded(maintainer) == oracle_decoded(
+            maintainer.as_dataset(), 2
+        )
+
+    def test_duplicate_add_and_remove_edges(self):
+        maintainer = StreamingRDFind(h=1)
+        assert maintainer.add(("a", "b", "c")) is True
+        assert maintainer.add(("a", "b", "c")) is False
+        assert maintainer.stats.duplicates_ignored == 1
+        assert maintainer.remove(("a", "b", "c")) is True
+        assert maintainer.remove(("a", "b", "c")) is False
+        assert maintainer.stats.removals_ignored == 1
+        assert maintainer.remove(("never", "was", "here")) is False
+        assert maintainer.stats.removals_ignored == 2
+        assert maintainer.triples == 0
+
+    def test_remove_then_oracle_on_repeated_churn(self):
+        """Hammer one condition across the boundary many times."""
+        maintainer = StreamingRDFind(h=2)
+        maintainer.add(("a", "p", "x"))
+        maintainer.add(("a", "q", "x"))
+        maintainer.add(("b", "q", "y"))
+        for _ in range(5):
+            maintainer.add(("b", "p", "y"))
+            maintainer.remove(("b", "p", "y"))
+        assert maintained_decoded(maintainer) == oracle_decoded(
+            maintainer.as_dataset(), 2
+        )
+
+
+class TestStatsAndStore:
+    def test_stats_to_dict_matches_fields(self):
+        """Satellite 2: to_dict() exposes every counter, StageMetrics-style."""
+        maintainer = StreamingRDFind(h=1)
+        maintainer.add(("a", "b", "c"))
+        maintainer.remove(("a", "b", "c"))
+        stats = maintainer.stats.to_dict()
+        assert stats["triples_added"] == 1
+        assert stats["triples_removed"] == 1
+        assert set(stats) >= {
+            "triples_added",
+            "triples_removed",
+            "duplicates_ignored",
+            "removals_ignored",
+            "conditions_activated",
+            "conditions_deactivated",
+            "evidences_applied",
+            "evidences_retracted",
+            "dependents_recomputed",
+            "compactions",
+            "queries",
+        }
+        assert all(isinstance(value, int) for value in stats.values())
+
+    def test_delta_store_retracts_terms(self):
+        store = DeltaStore()
+        store.add(("a", "b", "c"))
+        store.add(("a", "b", "d"))
+        assert store.remove(("a", "b", "c")) is not None
+        live = store.materialize("live")
+        assert len(live) == 1
+        decoded = live.decode()
+        assert list(decoded) == [("a", "b", "d")]
+
+    def test_as_dataset_roundtrip(self):
+        dataset = random_rdf(2400, n_triples=25)
+        maintainer = StreamingRDFind(h=1)
+        maintainer.add_all(dataset)
+        assert maintainer.as_dataset() == dataset
+
+    def test_validation_and_repr(self):
+        with pytest.raises(ValueError):
+            StreamingRDFind(h=0)
+        maintainer = StreamingRDFind(h=2)
+        maintainer.add(("a", "b", "c"))
+        assert "1 live triples" in repr(maintainer).replace(",", "")
