@@ -1,0 +1,139 @@
+"""Federated ingestion benchmark: clean endpoint vs faulty endpoint.
+
+Not a paper figure — this characterizes the fault-hardened federation
+layer (`rdfind fetch`, `repro.federation`).  One generated dataset is
+served by the deterministic in-repo SPARQL endpoint twice:
+
+1.  **clean** — every request succeeds; this is the protocol floor
+    (COUNT probe + paged SELECT scans + SPARQL-JSON decode + dictionary
+    encoding).
+2.  **faulty** — a seeded pseudo-random fault script (timeouts past the
+    client deadline, 429s with ``Retry-After``, 503s, truncated bodies,
+    malformed JSON) is injected into ~35% of the first requests; the
+    client rides it out with seeded-jitter retries and adaptive page
+    shrinking.
+
+Both fetches must produce a dictionary/columnar dataset whose digest is
+identical to locally parsing the same N-Triples file — the byte-identity
+contract faults are not allowed to break — and the faulty run's premium
+over clean is reported (it is dominated by the deliberate backoff waits,
+not by lost work: resumable pages mean no fetched row is refetched).
+
+Writes ``BENCH_federation.json`` at the repo root.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.core.retry import RetryPolicy
+from repro.dataflow.checkpoint import dataset_digest
+from repro.datasets import registry
+from repro.federation import CircuitBreaker, SparqlEndpointClient, fetch_endpoint
+from repro.federation.mock import EndpointFaultScript, MockSparqlEndpoint
+from repro.rdf.ntriples import write_ntriples_file
+
+from benchmarks.conftest import once
+
+DATASET = "Diseasome"
+SEED = 42
+FAULT_RATE = 0.35
+#: Requests subject to the seeded fault draw (the tail always succeeds).
+FAULT_WINDOW = 40
+PAGE_SIZE = 500
+
+OUTPUT_JSON = Path(__file__).resolve().parent.parent / "BENCH_federation.json"
+
+
+def _fast_client(url: str) -> SparqlEndpointClient:
+    """Short deadline + millisecond backoff: faults cost little real time."""
+    return SparqlEndpointClient(
+        url,
+        timeout=0.2,
+        retry=RetryPolicy(
+            max_retries=8, backoff_seconds=0.002, backoff_factor=2.0,
+            max_backoff_seconds=0.02, jitter=0.5, seed=SEED,
+        ),
+        breaker=CircuitBreaker(endpoint=url, failure_threshold=50),
+    )
+
+
+def _timed_fetch(endpoint: MockSparqlEndpoint):
+    client = _fast_client(endpoint.url)
+    started = time.perf_counter()
+    result = fetch_endpoint(client, name="bench", page_size=PAGE_SIZE)
+    elapsed = time.perf_counter() - started
+    stats = result.stats()
+    stats["seconds"] = elapsed
+    stats["digest"] = dataset_digest(result.encoded)
+    return stats
+
+
+def test_federated_ingest(benchmark, report, tmp_path):
+    dataset = registry.load(DATASET)
+    nt_path = str(tmp_path / "diseasome.nt")
+    write_ntriples_file(dataset, nt_path)
+    local_digest = dataset_digest(dataset.encode())
+
+    def body():
+        with MockSparqlEndpoint(nt_path, stall_seconds=0.4) as clean_ep:
+            clean = _timed_fetch(clean_ep)
+
+        script = EndpointFaultScript.seeded(
+            SEED, length=FAULT_WINDOW, fault_rate=FAULT_RATE
+        )
+        with MockSparqlEndpoint(
+            nt_path, faults=script, stall_seconds=0.4
+        ) as faulty_ep:
+            faulty = _timed_fetch(faulty_ep)
+            faulty["faults_injected"] = sum(
+                1 for directive in script.applied if directive != "ok"
+            )
+        return clean, faulty
+
+    clean, faulty = once(benchmark, body)
+
+    section = report.section(
+        f"Federation ingest — {DATASET} over a SPARQL endpoint "
+        f"({clean['triples']:,} triples, page={PAGE_SIZE})"
+    )
+    section.row(
+        f"clean endpoint:  {clean['seconds']*1000:7.1f}ms, "
+        f"{clean['requests_sent']} requests, {clean['pages']} pages, "
+        f"0 faults"
+    )
+    section.row(
+        f"faulty endpoint: {faulty['seconds']*1000:7.1f}ms, "
+        f"{faulty['requests_sent']} requests, {faulty['pages']} pages, "
+        f"{faulty['faults_injected']} injected faults "
+        f"(seed={SEED}, rate={FAULT_RATE}), {faulty['retries']} retries, "
+        f"{faulty['page_shrinks']} page shrinks"
+    )
+    section.row(
+        "encoded dataset digest == local parse: "
+        f"clean={clean['digest'] == local_digest} "
+        f"faulty={faulty['digest'] == local_digest} "
+        f"(overhead {faulty['seconds']/max(clean['seconds'], 1e-9):.2f}x)"
+    )
+
+    OUTPUT_JSON.write_text(
+        json.dumps(
+            {
+                "dataset": DATASET,
+                "seed": SEED,
+                "fault_rate": FAULT_RATE,
+                "page_size": PAGE_SIZE,
+                "clean": clean,
+                "faulty": faulty,
+                "local_digest": local_digest,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+
+    assert clean["digest"] == local_digest
+    assert faulty["digest"] == local_digest
+    assert faulty["complete"] and clean["complete"]
+    assert faulty["faults_injected"] > 0 and faulty["retries"] > 0

@@ -18,10 +18,15 @@ Subcommands::
     rdfind serve --port 8745 --job-dir jobs      # discovery job server
     rdfind snapshot save dataset:Diseasome -o d.snap   # mmap-able snapshot
     rdfind discover d.snap -s 25                 # O(ms) warm start
+    rdfind fetch http://host/sparql -o d.snap    # fault-hardened ingestion
+    rdfind discover endpoint:http://host/sparql -s 25  # fetch + discover
+    rdfind federate http://a/sparql http://b/sparql -s 25  # cross-endpoint
 
 Inputs are N-Triples files, Turtle files (``.ttl``), snapshot files
-(``.snap``, see ``rdfind snapshot``), or ``dataset:<Name>`` to use a
-synthetic Table 2 dataset.
+(``.snap``, see ``rdfind snapshot``), ``dataset:<Name>`` to use a
+synthetic Table 2 dataset, or ``endpoint:<URL>`` to ingest a SPARQL
+endpoint through the fault-hardened federation client
+(:mod:`repro.federation`).
 """
 
 from __future__ import annotations
@@ -92,11 +97,38 @@ def _load_source(
     """Parse/generate an input from its source of truth (no snapshots)."""
     if spec.startswith("dataset:"):
         return load(spec[len("dataset:") :], scale=scale, encoded=encoded)
+    if spec.startswith("endpoint:"):
+        dataset = _fetch_endpoint_input(spec[len("endpoint:") :])
+        return dataset if encoded else dataset.decode()
     if str(spec).endswith((".ttl", ".turtle")):
         dataset = parse_turtle_file(spec)
     else:
         dataset = parse_ntriples_file(spec)
     return dataset.encode() if encoded else dataset
+
+
+def _fetch_endpoint_input(url: str) -> EncodedDataset:
+    """Ingest an ``endpoint:<URL>`` input via the federation client.
+
+    Tunables come from the environment (no per-subcommand flags needed
+    everywhere an input spec is accepted): RDFIND_ENDPOINT_PAGE_SIZE,
+    RDFIND_ENDPOINT_TIMEOUT, RDFIND_FETCH_WORKSPACE (set it to make the
+    fetch resumable).  ``rdfind fetch`` exposes the full knob set.
+    """
+    from repro.federation.client import SparqlEndpointClient
+    from repro.federation.ingest import fetch_endpoint
+
+    client = SparqlEndpointClient(
+        url,
+        timeout=float(os.environ.get("RDFIND_ENDPOINT_TIMEOUT", "10.0")),
+    )
+    fetched = fetch_endpoint(
+        client,
+        name=url,
+        workspace=os.environ.get("RDFIND_FETCH_WORKSPACE") or None,
+        page_size=int(os.environ.get("RDFIND_ENDPOINT_PAGE_SIZE", "1000")),
+    )
+    return fetched.encoded
 
 
 def _ensure_encoded(dataset: "Dataset | EncodedDataset") -> EncodedDataset:
@@ -469,6 +501,130 @@ def cmd_cross(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_endpoint_client(url: str, args: argparse.Namespace):
+    """A federation client configured from an endpoint subcommand's flags."""
+    from repro.core.retry import RetryPolicy
+    from repro.federation.breaker import CircuitBreaker
+    from repro.federation.client import SparqlEndpointClient
+
+    return SparqlEndpointClient(
+        url,
+        timeout=args.timeout,
+        retry=RetryPolicy(
+            max_retries=args.retries,
+            backoff_seconds=args.backoff,
+            jitter=args.jitter,
+            seed=args.seed,
+        ),
+        breaker=CircuitBreaker(
+            endpoint=url,
+            failure_threshold=args.breaker_threshold,
+            cooldown_seconds=args.breaker_cooldown,
+        ),
+    )
+
+
+def _add_endpoint_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--page-size", type=int, default=1000,
+        help="initial SELECT page size; halves on persistent page "
+        "failures and re-grows on success (default 1000)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=10.0,
+        help="per-request deadline in seconds (default 10)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=4,
+        help="retry budget per request (default 4)",
+    )
+    parser.add_argument(
+        "--backoff", type=float, default=0.2,
+        help="base backoff in seconds, doubling per retry (default 0.2)",
+    )
+    parser.add_argument(
+        "--jitter", type=float, default=0.5,
+        help="seeded jitter fraction on backoff delays (default 0.5)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="jitter seed; a fixed seed reproduces the exact delay "
+        "sequence (default 0)",
+    )
+    parser.add_argument(
+        "--breaker-threshold", type=int, default=5,
+        help="consecutive transient failures that open the per-endpoint "
+        "circuit breaker (default 5)",
+    )
+    parser.add_argument(
+        "--breaker-cooldown", type=float, default=30.0,
+        help="seconds an open breaker waits before letting one probe "
+        "through (default 30)",
+    )
+
+
+def cmd_fetch(args: argparse.Namespace) -> int:
+    """Ingest a SPARQL endpoint into a local snapshot or N-Triples file."""
+    from repro.federation.ingest import fetch_endpoint
+    from repro.storage.snapshot import save_snapshot
+
+    client = _build_endpoint_client(args.endpoint, args)
+    fetched = fetch_endpoint(
+        client,
+        name=args.name or args.endpoint,
+        workspace=args.workspace,
+        page_size=args.page_size,
+        min_page_size=args.min_page_size,
+        resume=not args.no_resume,
+    )
+    stats = fetched.stats()
+    print(
+        f"fetched {stats['triples']:,} triples from {args.endpoint} "
+        f"in {stats['pages']} pages "
+        f"({stats['requests_sent']} requests, {stats['retries']} retries, "
+        f"{stats['page_shrinks']} page shrinks, "
+        f"{stats['resumed_rows']:,} rows resumed from workspace)"
+    )
+    if not fetched.complete:
+        print("warning: endpoint served fewer rows than it counted; "
+              "the fetch is marked incomplete", file=sys.stderr)
+    if args.output.endswith(SNAPSHOT_SUFFIX):
+        save_snapshot(fetched.encoded, args.output)
+    else:
+        write_ntriples_file(fetched.encoded.decode(), args.output)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_federate(args: argparse.Namespace) -> int:
+    """Cross-endpoint CIND discovery with graceful degradation."""
+    import json as _json
+
+    from repro.federation.cross import federated_discover, federated_result_to_dict
+
+    def parse_source(arg: str):
+        # optional NAME=URL labels; bare URLs are their own labels
+        name, sep, rest = arg.partition("=")
+        if sep and name and "://" not in name and "/" not in name:
+            return (name, rest)
+        return (arg, arg)
+
+    result = federated_discover(
+        [parse_source(arg) for arg in args.endpoints],
+        h=args.support,
+        page_size=args.page_size,
+        workspace_dir=args.workspace_dir,
+        client_factory=lambda url: _build_endpoint_client(url, args),
+    )
+    print(result.describe())
+    if args.output:
+        document = federated_result_to_dict(result)
+        with open(args.output, "w", encoding="utf-8") as handle:
+            _json.dump(document, handle, ensure_ascii=False, indent=1)
+        print(f"partial-result document written to {args.output}")
+    return 0 if result.complete or args.allow_partial else 3
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Run the discovery job server until SIGTERM/SIGINT.
 
@@ -741,6 +897,64 @@ def build_parser() -> argparse.ArgumentParser:
     cross.add_argument("--scale", type=float, default=1.0)
     cross.add_argument("-n", "--limit", type=int, default=20)
 
+    fetch = sub.add_parser(
+        "fetch",
+        help="ingest a SPARQL endpoint into a snapshot or N-Triples file "
+        "(fault-hardened, resumable)",
+    )
+    fetch.add_argument("endpoint", help="SPARQL endpoint URL")
+    fetch.add_argument(
+        "-o", "--output", required=True,
+        help="output file: .snap writes a mmap-able snapshot, anything "
+        "else N-Triples",
+    )
+    fetch.add_argument(
+        "--name", default=None,
+        help="dataset name stored in the output (default: the endpoint URL)",
+    )
+    fetch.add_argument(
+        "--workspace", default=None, metavar="DIR",
+        help="resumable fetch workspace: fetched pages persist here and a "
+        "rerun continues where the last one stopped",
+    )
+    fetch.add_argument(
+        "--no-resume", action="store_true", default=False,
+        help="ignore any pages already in --workspace and refetch from row 0",
+    )
+    fetch.add_argument(
+        "--min-page-size", type=int, default=1,
+        help="floor for adaptive page-size halving (default 1)",
+    )
+    _add_endpoint_flags(fetch)
+
+    federate = sub.add_parser(
+        "federate",
+        help="cross-endpoint CIND discovery over two or more SPARQL "
+        "endpoints (degrades to a partial result if sources die)",
+    )
+    federate.add_argument(
+        "endpoints", nargs="+",
+        help="two or more endpoint URLs, optionally labeled NAME=URL",
+    )
+    federate.add_argument(
+        "-s", "--support", type=int, default=25, help="support threshold h"
+    )
+    federate.add_argument(
+        "-o", "--output", default=None,
+        help="write the completeness-stamped result document as JSON",
+    )
+    federate.add_argument(
+        "--workspace-dir", default=None, metavar="DIR",
+        help="per-source resumable fetch workspaces; a source that dies "
+        "midway still contributes its fetched pages as a partial source",
+    )
+    federate.add_argument(
+        "--allow-partial", action="store_true", default=False,
+        help="exit 0 even when some sources failed (default: exit 3 on a "
+        "partial result; the document is written either way)",
+    )
+    _add_endpoint_flags(federate)
+
     serve = sub.add_parser(
         "serve", help="run the discovery job server (HTTP, stdlib-only)"
     )
@@ -902,6 +1116,8 @@ _COMMANDS = {
     "rank": cmd_rank,
     "inds": cmd_inds,
     "cross": cmd_cross,
+    "fetch": cmd_fetch,
+    "federate": cmd_federate,
     "profile": cmd_profile,
     "serve": cmd_serve,
     "snapshot": cmd_snapshot,

@@ -22,7 +22,11 @@ Three pieces:
     Bounded re-execution with exponential backoff.  Backoff waits are
     charged to a :class:`SimulatedClock` instead of ``time.sleep`` — the
     engine's tasks are pure module-level functions over payloads, so
-    re-execution is safe and there is nothing real to wait for.
+    re-execution is safe and there is nothing real to wait for.  The
+    backoff/jitter machinery itself lives in :mod:`repro.core.retry`
+    (shared with the federation and job-server clients, which retry
+    *real* network operations); the subclass here only adds the
+    engine's injected-vs-genuine OOM retryability split.
 
 :class:`SimulatedOutOfMemory`
     A simulated worker exceeded its per-partition memory budget.  Lives
@@ -42,6 +46,9 @@ import time
 from concurrent.futures import BrokenExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Optional, Tuple
+
+from repro.core.retry import RetryPolicy as _SharedRetryPolicy
+from repro.core.retry import SimulatedClock  # noqa: F401 - re-exported API
 
 #: The recognised fault kinds, in the order the plan's rates are stacked.
 TRANSIENT = "transient"
@@ -307,53 +314,21 @@ class FaultInjectingTask:
         return self.task(payload)
 
 
-class SimulatedClock:
-    """Accumulates backoff waits instead of sleeping.
-
-    Tasks are pure functions over payloads: nothing external heals with
-    time, so real sleeps would only slow the run down.  The clock keeps
-    the *accounting* of an exponential-backoff schedule (what a cluster
-    would have waited) observable without paying it.
-    """
-
-    __slots__ = ("elapsed",)
-
-    def __init__(self) -> None:
-        self.elapsed = 0.0
-
-    def sleep(self, seconds: float) -> None:
-        self.elapsed += seconds
-
-
 @dataclass(frozen=True)
-class RetryPolicy:
-    """Bounded re-execution with exponential backoff on a simulated clock.
+class RetryPolicy(_SharedRetryPolicy):
+    """The engine's task-retry policy on a simulated clock.
 
-    ``max_retries`` is the number of *re*-executions per task (0 disables
-    retrying).  The delay before retry ``n`` (1-based) is
-    ``backoff_seconds * backoff_factor ** (n - 1)``, capped at
-    ``max_backoff_seconds`` — charged to a :class:`SimulatedClock`.
+    The schedule (bounded exponential backoff, optional seeded jitter)
+    is :class:`repro.core.retry.RetryPolicy`, unchanged; waits are
+    charged to a :class:`~repro.core.retry.SimulatedClock` by the
+    executors.  Only retryability differs: the engine distinguishes
+    *injected* faults (always transient) from a *genuine* simulated OOM
+    (deterministic, never retryable).
     """
 
-    max_retries: int = 2
-    backoff_seconds: float = 0.05
-    backoff_factor: float = 2.0
-    max_backoff_seconds: float = 5.0
-
-    def __post_init__(self) -> None:
-        if self.max_retries < 0:
-            raise ValueError("max_retries must be >= 0")
-        if self.backoff_seconds < 0 or self.backoff_factor < 1.0:
-            raise ValueError("backoff must be >= 0 with factor >= 1")
-
-    def delay(self, retry_number: int) -> float:
-        """Backoff before the ``retry_number``-th retry (1-based)."""
-        return min(
-            self.max_backoff_seconds,
-            self.backoff_seconds * self.backoff_factor ** (retry_number - 1),
-        )
-
-    def is_retryable(self, error: BaseException, injected: Optional[str]) -> bool:
+    def is_retryable(  # type: ignore[override] - engine adds `injected`
+        self, error: BaseException, injected: Optional[str] = None
+    ) -> bool:
         """Whether re-executing the task can possibly change the outcome.
 
         A genuine :class:`SimulatedOutOfMemory` is deterministic — the

@@ -1,0 +1,67 @@
+"""Federated SPARQL ingestion and cross-endpoint CIND discovery.
+
+The RDFind paper's data-integration motivation (drug databases linking
+to disease databases, Section 1) presumes the RDF is already on local
+disk.  This subsystem removes that presumption: datasets are pulled
+from live SPARQL endpoints through a fault-hardened protocol client and
+encoded straight into the same dictionary/columnar representation the
+local loaders produce — byte-identically, faults or no faults — and
+CINDs are then discovered *across* endpoints.
+
+Layout:
+
+* :mod:`repro.federation.errors` — the typed failure taxonomy
+  (transient / permanent / malformed-response / circuit-open).
+* :mod:`repro.federation.breaker` — the per-endpoint circuit breaker.
+* :mod:`repro.federation.client` — the resilient SPARQL protocol client
+  (deadlines, seeded-jitter retries, GET→POST fallback).
+* :mod:`repro.federation.ingest` — paged, adaptive, resumable fetch
+  into :class:`~repro.storage.columnar.EncodedDataset`.
+* :mod:`repro.federation.cross` — multi-endpoint discovery with
+  graceful degradation into partial, completeness-stamped results.
+* :mod:`repro.federation.mock` — the deterministic in-repo endpoint
+  with scripted fault injection that makes all of the above testable
+  offline.
+"""
+
+from repro.federation.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.federation.client import SparqlEndpointClient, binding_to_term
+from repro.federation.cross import (
+    FederatedResult,
+    SourceOutcome,
+    federated_discover,
+    federated_result_to_dict,
+)
+from repro.federation.errors import (
+    CircuitOpenError,
+    EndpointError,
+    FederationError,
+    FetchMismatchError,
+    MalformedResponseError,
+    PermanentEndpointError,
+    TransientEndpointError,
+)
+from repro.federation.ingest import AdaptivePager, FetchResult, fetch_endpoint
+
+__all__ = [
+    "CLOSED",
+    "HALF_OPEN",
+    "OPEN",
+    "AdaptivePager",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "EndpointError",
+    "FederatedResult",
+    "FederationError",
+    "FetchMismatchError",
+    "FetchResult",
+    "MalformedResponseError",
+    "PermanentEndpointError",
+    "SourceOutcome",
+    "SparqlEndpointClient",
+    "TransientEndpointError",
+    "binding_to_term",
+    "fetch_endpoint",
+    "federated_discover",
+    "federated_result_to_dict",
+]

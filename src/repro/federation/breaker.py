@@ -1,0 +1,134 @@
+"""Per-endpoint circuit breaker: fail fast on a dead source.
+
+Without a breaker, a multi-endpoint job pays the full
+timeout × retry-budget cost on *every* page request to a dead endpoint —
+a 4-retry policy against a 10 s timeout turns one dead source into
+minutes of stalling per page.  The breaker converts that into one cheap
+:class:`~repro.federation.errors.CircuitOpenError` per request after the
+first few failures, which the cross-endpoint driver degrades into a
+partial result (see :mod:`repro.federation.cross`).
+
+Classic three-state machine:
+
+* **closed** — requests flow; ``failure_threshold`` *consecutive*
+  transient failures trip it open (a single success resets the count).
+* **open** — requests are refused instantly for ``cooldown_seconds``.
+* **half-open** — after the cooldown one probe request is let through:
+  success closes the breaker, failure re-opens it for another cooldown.
+
+Time is injected (``time_source``) so tests drive the cooldown with a
+fake clock instead of sleeping, and every transition is appended to
+:attr:`CircuitBreaker.transitions` so scripted fault sequences can
+assert the exact closed→open→half-open→… path they were designed to
+cause.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Tuple
+
+from repro.federation.errors import CircuitOpenError
+
+__all__ = ["CLOSED", "HALF_OPEN", "OPEN", "CircuitBreaker"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """One endpoint's health gate.
+
+    Not thread-safe by design: the federation client drives one breaker
+    from one fetch loop.  (The job server's concurrency is process-level;
+    each worker builds its own clients.)
+    """
+
+    def __init__(
+        self,
+        endpoint: str = "",
+        failure_threshold: int = 5,
+        cooldown_seconds: float = 30.0,
+        time_source: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown_seconds < 0:
+            raise ValueError("cooldown_seconds must be >= 0")
+        self.endpoint = endpoint
+        self.failure_threshold = failure_threshold
+        self.cooldown_seconds = cooldown_seconds
+        self._now = time_source
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        #: ``(from_state, to_state)`` pairs, in order — the test surface.
+        self.transitions: List[Tuple[str, str]] = []
+        #: How many times the breaker has gone (back) to OPEN.
+        self.opens = 0
+
+    # -- state ---------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """The current state, cooldown expiry applied lazily.
+
+        The breaker has no timer thread; an OPEN breaker becomes
+        HALF_OPEN the first time anyone *looks* after the cooldown.
+        """
+        if self._state == OPEN and (
+            self._now() - self._opened_at >= self.cooldown_seconds
+        ):
+            self._move(HALF_OPEN)
+        return self._state
+
+    def _move(self, to_state: str) -> None:
+        if to_state != self._state:
+            self.transitions.append((self._state, to_state))
+            self._state = to_state
+
+    # -- the three verbs the client speaks -----------------------------
+
+    def check(self) -> None:
+        """Gate one request; raises :class:`CircuitOpenError` when open."""
+        if self.state == OPEN:
+            retry_in = max(
+                0.0, self.cooldown_seconds - (self._now() - self._opened_at)
+            )
+            raise CircuitOpenError(
+                f"circuit open for {self.endpoint or 'endpoint'} "
+                f"({self._consecutive_failures} consecutive failures); "
+                f"half-opens in {retry_in:.1f}s",
+                endpoint=self.endpoint,
+                retry_in=retry_in,
+            )
+
+    def record_success(self) -> None:
+        """A request (or the half-open probe) succeeded."""
+        self._consecutive_failures = 0
+        if self.state != CLOSED:
+            self._move(CLOSED)
+
+    def record_failure(self) -> None:
+        """A *transient* failure happened (permanent errors don't count:
+        the endpoint answered; the request was wrong)."""
+        if self.state == HALF_OPEN:
+            # The probe failed: straight back to open, fresh cooldown.
+            self._reopen()
+            return
+        self._consecutive_failures += 1
+        if self._consecutive_failures >= self.failure_threshold:
+            self._reopen()
+
+    def _reopen(self) -> None:
+        self._opened_at = self._now()
+        self.opens += 1
+        self._move(OPEN)
+
+    def __repr__(self) -> str:
+        return (
+            f"<CircuitBreaker {self.endpoint or '?'}: {self.state}, "
+            f"{self._consecutive_failures} consecutive failures, "
+            f"{self.opens} opens>"
+        )

@@ -1,0 +1,366 @@
+"""Fault-hardened SPARQL 1.1 protocol client (stdlib only).
+
+The paper's data-integration story (Section 1: CINDs linking DrugBank to
+Diseasome) assumes the triples are already local; this client is how
+they get there from *live* endpoints — which time out, rate-limit, drop
+connections, and return partial pages.  Every defence is deterministic
+and offline-testable against :mod:`repro.federation.mock`:
+
+* **per-request deadlines** — every HTTP call carries ``timeout``; a
+  stalled endpoint costs one timeout, not a hung job;
+* **typed error taxonomy** — failures classify into
+  transient / permanent / malformed-response
+  (:mod:`repro.federation.errors`); only the retryable kinds burn
+  retry budget;
+* **bounded retries with seeded jitter** — the shared
+  :class:`repro.core.retry.RetryPolicy` (same machinery as the dataflow
+  engine's task retries), keyed on the endpoint URL so a fixed seed
+  reproduces the exact delay sequence; ``Retry-After`` hints from
+  429/503 responses are honored (bounded by the policy cap);
+* **GET→POST fallback** — queries are sent as protocol GETs until the
+  encoded URL outgrows ``get_url_limit`` (or the server answers 414),
+  then as form-encoded POSTs, per SPARQL 1.1 Protocol §2.1;
+* **a per-endpoint circuit breaker** — repeated transients trip it so a
+  dead source fails fast instead of stalling a multi-endpoint job
+  (:mod:`repro.federation.breaker`).
+
+The client speaks the standard JSON results format
+(``application/sparql-results+json``); bindings convert to this repo's
+stored term strings via :mod:`repro.rdf.ntriples` part helpers, so a
+fetched triple is byte-identical to the same triple parsed locally.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.retry import RetryPolicy
+from repro.federation.breaker import CircuitBreaker
+from repro.federation.errors import (
+    EndpointError,
+    MalformedResponseError,
+    PermanentEndpointError,
+    TransientEndpointError,
+)
+from repro.rdf.ntriples import make_literal
+
+__all__ = ["DEFAULT_RETRY_POLICY", "SparqlEndpointClient", "binding_to_term"]
+
+#: HTTP statuses that indicate a recoverable server/path condition.
+_TRANSIENT_STATUSES = frozenset({408, 429, 502, 503, 504})
+
+#: The client's default schedule: 4 retries, 0.2s → 1.6s with ±50%
+#: seeded jitter.  Deterministic for a fixed seed (see repro.core.retry).
+DEFAULT_RETRY_POLICY = RetryPolicy(
+    max_retries=4,
+    backoff_seconds=0.2,
+    backoff_factor=2.0,
+    max_backoff_seconds=10.0,
+    jitter=0.5,
+    seed=0,
+)
+
+
+def _parse_retry_after(value: Optional[str]) -> Optional[float]:
+    """``Retry-After`` as seconds; ``None`` for absent/unparseable.
+
+    Only the delta-seconds form is supported — the HTTP-date form would
+    need wall-clock comparison, and every server this client is built
+    for (including our own job server) sends seconds.
+    """
+    if value is None:
+        return None
+    try:
+        return max(0.0, float(value.strip()))
+    except (ValueError, AttributeError):
+        return None
+
+
+def binding_to_term(binding: Dict[str, Any]) -> str:
+    """One SPARQL-JSON RDF term as this repo's stored term string.
+
+    ``uri`` values are stored bare, ``bnode`` labels get their ``_:``
+    prefix back, and ``literal``/``typed-literal`` values re-enter the
+    canonical stored form via :func:`repro.rdf.ntriples.make_literal` —
+    the exact bytes the N-Triples parser would have produced locally.
+    """
+    try:
+        kind = binding["type"]
+        value = binding["value"]
+    except (TypeError, KeyError) as error:
+        raise MalformedResponseError(f"binding missing {error}: {binding!r}")
+    if not isinstance(value, str):
+        raise MalformedResponseError(f"binding value is not a string: {binding!r}")
+    if kind == "uri":
+        return value
+    if kind == "bnode":
+        return f"_:{value}"
+    if kind in ("literal", "typed-literal"):
+        language = binding.get("xml:lang") or None
+        datatype = binding.get("datatype") or None
+        if language is not None and datatype is not None:
+            raise MalformedResponseError(
+                f"binding carries both language and datatype: {binding!r}"
+            )
+        return make_literal(value, language=language, datatype=datatype)
+    raise MalformedResponseError(f"unknown binding type {kind!r}: {binding!r}")
+
+
+class SparqlEndpointClient:
+    """One endpoint's resilient query channel.
+
+    Parameters
+    ----------
+    endpoint_url:
+        The SPARQL protocol endpoint (``http://host:port/sparql``).
+    timeout:
+        Per-request deadline in seconds (connect + read).
+    retry:
+        The shared backoff policy; defaults to :data:`DEFAULT_RETRY_POLICY`.
+    breaker:
+        The endpoint's circuit breaker; a default 5-failure/30 s one is
+        built when not supplied.  Pass an explicit breaker to share its
+        state across clients or to drive its clock from a test.
+    get_url_limit:
+        Encoded-URL length above which queries go as POSTs (servers and
+        proxies commonly cap request lines around 2-8 KiB).
+    sleeper:
+        Injected ``time.sleep`` for the backoff waits (tests pass a
+        recorder, so fault torture runs instantly).
+    opener:
+        Injected ``urllib.request.urlopen``-compatible callable (tests
+        can fail requests without a socket).
+    """
+
+    def __init__(
+        self,
+        endpoint_url: str,
+        timeout: float = 10.0,
+        retry: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        get_url_limit: int = 2048,
+        sleeper: Callable[[float], None] = time.sleep,
+        opener: Optional[Callable[..., Any]] = None,
+    ) -> None:
+        if timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {timeout}")
+        if get_url_limit < 1:
+            raise ValueError(f"get_url_limit must be >= 1, got {get_url_limit}")
+        self.endpoint_url = endpoint_url.rstrip()
+        self.timeout = timeout
+        self.retry = retry if retry is not None else DEFAULT_RETRY_POLICY
+        self.breaker = (
+            breaker
+            if breaker is not None
+            else CircuitBreaker(endpoint=self.endpoint_url)
+        )
+        self.get_url_limit = get_url_limit
+        self._sleep = sleeper
+        self._open = opener if opener is not None else urllib.request.urlopen
+        # -- observability (read by reports/benchmarks) ----------------
+        self.requests_sent = 0
+        self.retries = 0
+        self.get_to_post_fallbacks = 0
+        self.backoff_seconds_slept = 0.0
+
+    # -- public API ----------------------------------------------------
+
+    def select(self, query: str) -> List[Dict[str, str]]:
+        """Run a SELECT; returns the rows as ``{var: stored-term}`` dicts.
+
+        The full resilience stack applies: circuit-breaker gate, typed
+        classification, bounded jittered retries honoring ``Retry-After``,
+        GET→POST fallback.  Raises the *last* typed error once the retry
+        budget is exhausted (or immediately for permanent errors).
+        """
+        retry_number = 0
+        while True:
+            self.breaker.check()
+            try:
+                rows = self._select_once(query)
+            except EndpointError as error:
+                if error.retryable:
+                    self.breaker.record_failure()
+                    retry_number += 1
+                    if retry_number <= self.retry.max_retries:
+                        self.retries += 1
+                        hint = getattr(error, "retry_after", None)
+                        delay = self.retry.delay_with_hint(
+                            retry_number, key=self.endpoint_url, hint=hint
+                        )
+                        self.backoff_seconds_slept += delay
+                        self._sleep(delay)
+                        continue
+                raise
+            else:
+                self.breaker.record_success()
+                return rows
+
+    # -- one attempt ---------------------------------------------------
+
+    def _select_once(self, query: str) -> List[Dict[str, str]]:
+        body = self._request_body(self._build_request(query))
+        payload = self._decode_results(body)
+        return self._rows_of(payload)
+
+    def _build_request(self, query: str) -> urllib.request.Request:
+        """A protocol GET, or a form POST when the URL would be too long."""
+        encoded = urllib.parse.urlencode({"query": query})
+        get_url = f"{self.endpoint_url}?{encoded}"
+        headers = {"Accept": "application/sparql-results+json"}
+        if len(get_url) <= self.get_url_limit:
+            return urllib.request.Request(get_url, headers=headers, method="GET")
+        self.get_to_post_fallbacks += 1
+        headers["Content-Type"] = "application/x-www-form-urlencoded"
+        return urllib.request.Request(
+            self.endpoint_url,
+            data=encoded.encode("ascii"),
+            headers=headers,
+            method="POST",
+        )
+
+    def _request_body(self, request: urllib.request.Request) -> bytes:
+        """Send one request; classify every failure mode into the taxonomy."""
+        self.requests_sent += 1
+        try:
+            with self._open(request, timeout=self.timeout) as response:
+                return response.read()
+        except urllib.error.HTTPError as error:
+            status = error.code
+            detail = f"{request.get_method()} {self.endpoint_url} -> HTTP {status}"
+            if status == 414 and request.get_method() == "GET":
+                # The server caps URLs tighter than get_url_limit: fall
+                # back to POST immediately (no retry budget consumed).
+                self.get_to_post_fallbacks += 1
+                encoded = urllib.parse.urlsplit(request.full_url).query
+                return self._request_body(
+                    urllib.request.Request(
+                        self.endpoint_url,
+                        data=encoded.encode("ascii"),
+                        headers={
+                            "Accept": "application/sparql-results+json",
+                            "Content-Type": "application/x-www-form-urlencoded",
+                        },
+                        method="POST",
+                    )
+                )
+            if status in _TRANSIENT_STATUSES:
+                raise TransientEndpointError(
+                    detail,
+                    endpoint=self.endpoint_url,
+                    retry_after=_parse_retry_after(
+                        error.headers.get("Retry-After")
+                    ),
+                    status=status,
+                ) from None
+            raise PermanentEndpointError(
+                f"{detail}: {error.reason}",
+                endpoint=self.endpoint_url,
+                status=status,
+            ) from None
+        except (socket.timeout, TimeoutError) as error:
+            raise TransientEndpointError(
+                f"request to {self.endpoint_url} timed out after "
+                f"{self.timeout}s: {error}",
+                endpoint=self.endpoint_url,
+            ) from None
+        except http.client.IncompleteRead as error:
+            raise MalformedResponseError(
+                f"{self.endpoint_url} sent a truncated body "
+                f"({len(error.partial)} bytes received): {error}",
+                endpoint=self.endpoint_url,
+            ) from None
+        except urllib.error.URLError as error:
+            reason = getattr(error, "reason", error)
+            if isinstance(reason, (socket.timeout, TimeoutError)):
+                raise TransientEndpointError(
+                    f"request to {self.endpoint_url} timed out after "
+                    f"{self.timeout}s: {reason}",
+                    endpoint=self.endpoint_url,
+                ) from None
+            raise TransientEndpointError(
+                f"cannot reach {self.endpoint_url}: {reason}",
+                endpoint=self.endpoint_url,
+            ) from None
+        except (http.client.HTTPException, ConnectionError, OSError) as error:
+            raise TransientEndpointError(
+                f"connection to {self.endpoint_url} failed: "
+                f"{type(error).__name__}: {error}",
+                endpoint=self.endpoint_url,
+            ) from None
+
+    def _decode_results(self, body: bytes) -> Dict[str, Any]:
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as error:
+            raise MalformedResponseError(
+                f"{self.endpoint_url} returned unparseable results "
+                f"({len(body)} bytes): {error}",
+                endpoint=self.endpoint_url,
+            ) from None
+        if not isinstance(payload, dict) or "results" not in payload:
+            raise MalformedResponseError(
+                f"{self.endpoint_url} returned JSON that is not a SPARQL "
+                f"result document",
+                endpoint=self.endpoint_url,
+            )
+        return payload
+
+    def _rows_of(self, payload: Dict[str, Any]) -> List[Dict[str, str]]:
+        results = payload.get("results")
+        bindings = results.get("bindings") if isinstance(results, dict) else None
+        if not isinstance(bindings, list):
+            raise MalformedResponseError(
+                f"{self.endpoint_url} result document has no bindings list",
+                endpoint=self.endpoint_url,
+            )
+        rows: List[Dict[str, str]] = []
+        for binding in bindings:
+            if not isinstance(binding, dict):
+                raise MalformedResponseError(
+                    f"{self.endpoint_url} sent a non-object binding: "
+                    f"{binding!r}",
+                    endpoint=self.endpoint_url,
+                )
+            rows.append(
+                {var: binding_to_term(term) for var, term in binding.items()}
+            )
+        return rows
+
+    # -- convenience ---------------------------------------------------
+
+    def count_triples(self) -> int:
+        """Total triples at the endpoint (drives pagination/completeness)."""
+        rows = self.select(
+            "SELECT (COUNT(*) AS ?count) WHERE { ?s ?p ?o }"
+        )
+        if len(rows) != 1 or "count" not in rows[0]:
+            raise MalformedResponseError(
+                f"{self.endpoint_url} returned a malformed COUNT result",
+                endpoint=self.endpoint_url,
+            )
+        from repro.rdf.ntriples import is_literal, literal_parts
+
+        term = rows[0]["count"]
+        raw = literal_parts(term)[0] if is_literal(term) else term
+        try:
+            return int(raw)
+        except ValueError:
+            raise MalformedResponseError(
+                f"{self.endpoint_url} COUNT value is not an integer: {term!r}",
+                endpoint=self.endpoint_url,
+            ) from None
+
+    def __repr__(self) -> str:
+        return (
+            f"<SparqlEndpointClient {self.endpoint_url}: "
+            f"{self.requests_sent} requests, {self.retries} retries, "
+            f"breaker {self.breaker.state}>"
+        )

@@ -1,0 +1,125 @@
+"""Typed failure taxonomy of the federated SPARQL layer.
+
+Real endpoints fail in three fundamentally different ways, and the
+retry/circuit machinery must treat them differently:
+
+* **transient** (:class:`TransientEndpointError`) — timeouts, dropped
+  connections, 429/502/503/504.  Retrying can succeed; repeated
+  transients trip the per-endpoint circuit breaker.
+* **permanent** (:class:`PermanentEndpointError`) — a malformed query
+  (400), missing resource (404), auth failure.  Retrying the identical
+  request cannot change the outcome; fail fast, never burn the retry
+  budget, never count against the breaker (the *endpoint* is healthy —
+  the request is wrong).
+* **malformed response** (:class:`MalformedResponseError`) — the server
+  answered 200 but the body is truncated, not JSON, or not SPARQL
+  results.  Usually a proxy or connection artifact, so it is retried
+  like a transient — but kept as its own type because a *persistently*
+  malformed endpoint (wrong URL, HTML error page) should be diagnosable
+  from the exception type, not from a generic "transient" label.
+
+:class:`CircuitOpenError` is not an endpoint failure at all: it is the
+client refusing to send, because the breaker has seen enough consecutive
+transients to declare the endpoint down (see
+:mod:`repro.federation.breaker`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = [
+    "CircuitOpenError",
+    "EndpointError",
+    "FederationError",
+    "FetchMismatchError",
+    "MalformedResponseError",
+    "PermanentEndpointError",
+    "TransientEndpointError",
+]
+
+
+class FederationError(RuntimeError):
+    """Base class for every federated-ingestion failure."""
+
+
+class EndpointError(FederationError):
+    """A failure attributable to one endpoint request.
+
+    ``retryable`` is the class-level contract the retry loop keys on;
+    instances carry the endpoint URL for multi-source error reports.
+    """
+
+    retryable = False
+
+    def __init__(self, message: str, endpoint: str = "") -> None:
+        super().__init__(message)
+        self.endpoint = endpoint
+
+
+class TransientEndpointError(EndpointError):
+    """The endpoint (or the path to it) hiccuped; retrying can succeed.
+
+    ``retry_after`` carries the server's own backoff hint in seconds
+    (the ``Retry-After`` header of a 429/503) when one was given.
+    """
+
+    retryable = True
+
+    def __init__(
+        self,
+        message: str,
+        endpoint: str = "",
+        retry_after: Optional[float] = None,
+        status: Optional[int] = None,
+    ) -> None:
+        super().__init__(message, endpoint)
+        self.retry_after = retry_after
+        self.status = status
+
+
+class PermanentEndpointError(EndpointError):
+    """The request itself is wrong; an identical retry cannot succeed."""
+
+    retryable = False
+
+    def __init__(
+        self, message: str, endpoint: str = "", status: Optional[int] = None
+    ) -> None:
+        super().__init__(message, endpoint)
+        self.status = status
+
+
+class MalformedResponseError(EndpointError):
+    """The endpoint answered, but not with parseable SPARQL results.
+
+    Truncated bodies, invalid JSON, missing ``head``/``results`` keys.
+    Retryable — truncation is usually a connection artifact — but typed
+    apart from plain transients so persistent garbage is diagnosable.
+    """
+
+    retryable = True
+
+
+class CircuitOpenError(FederationError):
+    """The per-endpoint circuit breaker is open; the request was not sent.
+
+    ``retry_in`` is the remaining cooldown in seconds — after it elapses
+    the breaker half-opens and lets one probe through.
+    """
+
+    def __init__(self, message: str, endpoint: str = "", retry_in: float = 0.0) -> None:
+        super().__init__(message)
+        self.endpoint = endpoint
+        self.retry_in = retry_in
+
+
+class FetchMismatchError(FederationError):
+    """A resumable fetch workspace disagrees with this fetch's identity.
+
+    Raised when a workspace manifest fingerprints a *different*
+    endpoint/query/config than the resuming fetch — continuing would
+    silently splice two different result streams together.  Mirrors the
+    checkpoint subsystem's ``CheckpointMismatchError`` discipline:
+    mismatch is an error, corruption is a warned clean restart.
+    """

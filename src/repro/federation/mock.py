@@ -1,0 +1,436 @@
+"""A deterministic in-repo SPARQL endpoint with scripted fault injection.
+
+Offline robustness testing needs a server that misbehaves *on command*:
+every fault the client hardens against — stalls past the deadline, 429s
+with ``Retry-After``, 503s, truncated bodies, malformed JSON — can be
+scripted per request, and the same script plus the same dataset produces
+the same byte stream every run.  The torture tests and the CI smoke leg
+drive :class:`MockSparqlEndpoint` instead of a live endpoint.
+
+Protocol surface (just enough of SPARQL 1.1 Protocol for the ingester):
+
+* ``GET /sparql?query=...`` and form-encoded ``POST /sparql``;
+* the COUNT probe (``SELECT (COUNT(*) AS ?count) ...``) and the paged
+  scan query of :mod:`repro.federation.ingest`, answered from a fixed
+  N-Triples dataset;
+* results in the SPARQL JSON format, serialized with sorted keys so
+  response bytes are deterministic.
+
+Rows are served in the dataset's parse order (first occurrence, like the
+local loaders).  The ``ORDER BY`` clause in the scan query asks for *a*
+stable total order and parse order is one — choosing it means a fetched
+dataset is byte-identical to locally parsing the same file, which the CI
+smoke leg diffs end to end.
+
+Faults come from an :class:`EndpointFaultScript`: an explicit directive
+list (``["timeout", "429", "ok", ...]``), a compact spec string
+(``"timeout,429,truncate"``), or a seeded pseudo-random mix built on the
+same BLAKE2b draw as every other fault plan in this repo — never
+``random``, so runs are reproducible across processes and platforms.
+Directives are consumed in request-arrival order; once the script is
+exhausted, everything succeeds.
+
+Runnable standalone for CI::
+
+    python -m repro.federation.mock --data data.nt --port 8765 \
+        --faults timeout,429,truncate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import threading
+import time
+import urllib.parse
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.retry import unit_draw
+from repro.rdf.model import Dataset
+from repro.rdf.ntriples import is_blank, is_literal, literal_parts, parse_ntriples_file
+
+__all__ = ["EndpointFaultScript", "FAULT_KINDS", "MockSparqlEndpoint", "main"]
+
+OK = "ok"
+TIMEOUT = "timeout"
+RATE_LIMIT = "429"
+RATE_LIMIT_PLAIN = "429-plain"
+UNAVAILABLE = "503"
+TRUNCATE = "truncate"
+MALFORMED = "malformed"
+
+FAULT_KINDS = (
+    OK,
+    TIMEOUT,
+    RATE_LIMIT,
+    RATE_LIMIT_PLAIN,
+    UNAVAILABLE,
+    TRUNCATE,
+    MALFORMED,
+)
+
+
+class EndpointFaultScript:
+    """A thread-safe, deterministic per-request fault schedule."""
+
+    def __init__(self, directives: Sequence[str] = ()) -> None:
+        for directive in directives:
+            if directive not in FAULT_KINDS:
+                raise ValueError(
+                    f"unknown fault directive {directive!r}; "
+                    f"expected one of {FAULT_KINDS}"
+                )
+        self.directives = list(directives)
+        self._lock = threading.Lock()
+        self._cursor = 0
+        #: Every directive actually applied, in request order.
+        self.applied: List[str] = []
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "EndpointFaultScript":
+        """Parse ``"timeout,429,truncate"`` (empty string → no faults)."""
+        parts = [part.strip() for part in spec.split(",") if part.strip()]
+        return cls(parts)
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        length: int,
+        fault_rate: float = 0.3,
+        kinds: Sequence[str] = (TIMEOUT, RATE_LIMIT, UNAVAILABLE, TRUNCATE, MALFORMED),
+    ) -> "EndpointFaultScript":
+        """A pseudo-random mix, reproducible from the seed alone.
+
+        Each of the first ``length`` requests faults with probability
+        ``fault_rate``; the fault kind is drawn from ``kinds``.  Both
+        draws come from the repo-wide BLAKE2b unit draw, so the script
+        is identical across processes, platforms, and reruns.
+        """
+        directives = []
+        for index in range(length):
+            if unit_draw(seed, f"fault|{index}") < fault_rate:
+                pick = int(unit_draw(seed, f"kind|{index}") * len(kinds))
+                directives.append(kinds[min(pick, len(kinds) - 1)])
+            else:
+                directives.append(OK)
+        return cls(directives)
+
+    def next_directive(self) -> str:
+        with self._lock:
+            if self._cursor < len(self.directives):
+                directive = self.directives[self._cursor]
+                self._cursor += 1
+            else:
+                directive = OK
+            self.applied.append(directive)
+            return directive
+
+
+def _term_to_binding(term: str) -> Dict[str, str]:
+    """One stored term as its SPARQL-JSON binding object."""
+    if is_literal(term):
+        value, language, datatype = literal_parts(term)
+        binding = {"type": "literal", "value": value}
+        if language:
+            binding["xml:lang"] = language
+        if datatype:
+            binding["datatype"] = datatype
+        return binding
+    if is_blank(term):
+        return {"type": "bnode", "value": term[2:]}
+    return {"type": "uri", "value": term}
+
+
+def _results_body(rows: List[Dict[str, Dict[str, str]]], variables: List[str]) -> bytes:
+    document = {
+        "head": {"vars": variables},
+        "results": {"bindings": rows},
+    }
+    return json.dumps(document, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+class MockSparqlEndpoint:
+    """A tiny threaded SPARQL endpoint over one fixed dataset.
+
+    ``port=0`` binds an ephemeral port (the default for tests); the
+    bound address is ``.url`` after :meth:`start`.  Usable as a context
+    manager.  ``stall_seconds`` is how long a ``timeout`` directive
+    sleeps — keep it just above the client's deadline in tests so
+    nothing waits for real-world timeouts.
+    """
+
+    def __init__(
+        self,
+        dataset: Union[Dataset, str],
+        faults: Optional[EndpointFaultScript] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        stall_seconds: float = 1.0,
+        retry_after_seconds: float = 0.01,
+    ) -> None:
+        if isinstance(dataset, str):
+            dataset = parse_ntriples_file(dataset)
+        self.dataset = dataset
+        #: Parse-order rows — the endpoint's canonical total order.
+        self.rows: List[Tuple[str, str, str]] = [
+            (t.s, t.p, t.o) for t in dataset
+        ]
+        self.faults = faults if faults is not None else EndpointFaultScript()
+        self.host = host
+        self.port = port
+        self.stall_seconds = stall_seconds
+        self.retry_after_seconds = retry_after_seconds
+        self.requests_served = 0
+        self._server: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def url(self) -> str:
+        if self._server is None:
+            raise RuntimeError("endpoint is not running; call start() first")
+        return f"http://{self.host}:{self._server.server_address[1]}/sparql"
+
+    def start(self) -> "MockSparqlEndpoint":
+        if self._server is not None:
+            raise RuntimeError("endpoint already started")
+        handler = type(
+            "BoundMockSparqlHandler",
+            (_MockSparqlHandler,),
+            {"service": self},
+        )
+        self._server = ThreadingHTTPServer((self.host, self.port), handler)
+        self._server.daemon_threads = True
+        self._server.block_on_close = False
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="mock-sparql", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+            self._thread = None
+
+    def __enter__(self) -> "MockSparqlEndpoint":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- query evaluation ----------------------------------------------
+
+    def answer(self, query: str) -> Optional[bytes]:
+        """The response body for a supported query, ``None`` if unsupported."""
+        with self._lock:
+            self.requests_served += 1
+        normalized = " ".join(query.split())
+        if "COUNT" in normalized and "?s ?p ?o" in normalized:
+            rows = [
+                {
+                    "count": {
+                        "type": "literal",
+                        "value": str(len(self.rows)),
+                        "datatype": "http://www.w3.org/2001/XMLSchema#integer",
+                    }
+                }
+            ]
+            return _results_body(rows, ["count"])
+        window = _parse_scan(normalized)
+        if window is None:
+            return None
+        offset, limit = window
+        end = None if limit is None else offset + limit
+        selected = self.rows[offset:end]
+        bindings = [
+            {
+                "s": _term_to_binding(s),
+                "p": _term_to_binding(p),
+                "o": _term_to_binding(o),
+            }
+            for s, p, o in selected
+        ]
+        return _results_body(bindings, ["s", "p", "o"])
+
+
+def _parse_scan(normalized: str) -> Optional[Tuple[int, Optional[int]]]:
+    """``(offset, limit)`` of a scan query; ``None`` if not a scan."""
+    if "SELECT ?s ?p ?o WHERE { ?s ?p ?o }" not in normalized:
+        return None
+    offset = 0
+    limit: Optional[int] = None
+    tokens = normalized.split()
+    for index, token in enumerate(tokens):
+        if token.upper() == "LIMIT" and index + 1 < len(tokens):
+            limit = int(tokens[index + 1])
+        elif token.upper() == "OFFSET" and index + 1 < len(tokens):
+            offset = int(tokens[index + 1])
+    return offset, limit
+
+
+class _MockSparqlHandler(BaseHTTPRequestHandler):
+    """One request: apply the next fault directive, then answer."""
+
+    service: MockSparqlEndpoint  # bound via type() in start()
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # keep test output clean
+
+    def _query_of_get(self) -> Optional[str]:
+        parsed = urllib.parse.urlsplit(self.path)
+        params = urllib.parse.parse_qs(parsed.query)
+        values = params.get("query")
+        return values[0] if values else None
+
+    def _query_of_post(self) -> Optional[str]:
+        length = int(self.headers.get("Content-Length", "0"))
+        body = self.rfile.read(length).decode("utf-8")
+        params = urllib.parse.parse_qs(body)
+        values = params.get("query")
+        return values[0] if values else None
+
+    def do_GET(self) -> None:
+        self._handle(self._query_of_get())
+
+    def do_POST(self) -> None:
+        self._handle(self._query_of_post())
+
+    def _handle(self, query: Optional[str]) -> None:
+        service = self.service
+        directive = service.faults.next_directive()
+
+        if directive == TIMEOUT:
+            # Stall past the client's deadline; it gives up first.  The
+            # connection is then closed without a response.
+            time.sleep(service.stall_seconds)
+            self.close_connection = True
+            return
+        if directive in (RATE_LIMIT, RATE_LIMIT_PLAIN):
+            retry_after = f"{service.retry_after_seconds:g}"
+            if directive == RATE_LIMIT:
+                body = json.dumps(
+                    {"error": "rate limited", "retry_after": service.retry_after_seconds}
+                ).encode("utf-8")
+                content_type = "application/json"
+            else:
+                body = b"Too Many Requests"
+                content_type = "text/plain"
+            self.send_response(429)
+            self.send_header("Retry-After", retry_after)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+            return
+        if directive == UNAVAILABLE:
+            body = b"Service Unavailable"
+            self.send_response(503)
+            self.send_header("Retry-After", f"{service.retry_after_seconds:g}")
+            self.send_header("Content-Type", "text/plain")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+            return
+
+        if query is None:
+            self._send_error(400, "missing query parameter")
+            return
+        body = service.answer(query)
+        if body is None:
+            self._send_error(400, f"unsupported query: {query[:200]}")
+            return
+
+        if directive == MALFORMED:
+            # Valid HTTP, invalid SPARQL results: a half-object that
+            # fails JSON parsing with a correct Content-Length.
+            body = b'{"head": {"vars": ['
+        self.send_response(200)
+        self.send_header("Content-Type", "application/sparql-results+json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        if directive == TRUNCATE:
+            # Promise the full body, deliver half, drop the connection:
+            # the client sees http.client.IncompleteRead.
+            self.wfile.write(body[: max(1, len(body) // 2)])
+            self.close_connection = True
+            return
+        self.wfile.write(body)
+
+    def _send_error(self, status: int, message: str) -> None:
+        body = message.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "text/plain")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run a mock endpoint from the command line (CI smoke legs)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.federation.mock",
+        description="Serve an N-Triples file as a deterministic SPARQL "
+        "endpoint with scripted fault injection.",
+    )
+    parser.add_argument("--data", required=True, help="N-Triples file to serve")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0)
+    parser.add_argument(
+        "--faults",
+        default="",
+        help="comma-separated per-request directives, e.g. 'timeout,429,truncate'",
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        help="generate a seeded pseudo-random fault mix instead of --faults",
+    )
+    parser.add_argument(
+        "--fault-length",
+        type=int,
+        default=32,
+        help="requests covered by the seeded fault mix",
+    )
+    parser.add_argument(
+        "--stall-seconds",
+        type=float,
+        default=1.0,
+        help="how long a 'timeout' directive stalls",
+    )
+    options = parser.parse_args(argv)
+
+    if options.fault_seed is not None:
+        faults = EndpointFaultScript.seeded(options.fault_seed, options.fault_length)
+    else:
+        faults = EndpointFaultScript.from_spec(options.faults)
+
+    endpoint = MockSparqlEndpoint(
+        options.data,
+        faults=faults,
+        host=options.host,
+        port=options.port,
+        stall_seconds=options.stall_seconds,
+    )
+    endpoint.start()
+    print(endpoint.url, flush=True)
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        endpoint.stop()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -247,6 +247,48 @@ def parse_ntriples_file(path: Union[str, os.PathLike], name: str = "") -> Datase
         return Dataset(parse_ntriples(handle), name=name or str(path))
 
 
+def literal_parts(term: str) -> "tuple[str, Optional[str], Optional[str]]":
+    """Split a stored literal into ``(value, language, datatype)``.
+
+    ``value`` is the unescaped lexical value; exactly one of
+    ``language``/``datatype`` is set when the literal carries a suffix.
+    This is the bridge to exchange formats that carry the three parts
+    separately (the SPARQL 1.1 JSON results format used by
+    :mod:`repro.federation`).
+    """
+    if not is_literal(term):
+        raise ValueError(f"not a literal: {term!r}")
+    closing = _closing_quote(term)
+    value = _unescape(term[1:closing], 0, term)
+    suffix = term[closing + 1 :]
+    if suffix.startswith("@"):
+        return value, suffix[1:], None
+    if suffix.startswith("^^<") and suffix.endswith(">"):
+        return value, None, suffix[3:-1]
+    return value, None, None
+
+
+def make_literal(
+    value: str, language: Optional[str] = None, datatype: Optional[str] = None
+) -> str:
+    """Build a stored literal term from its parts (inverse of
+    :func:`literal_parts`).
+
+    The value is escaped with the parser's canonical escape set, so a
+    literal round-tripped through ``literal_parts``/``make_literal``
+    reproduces the stored term byte for byte — the property federated
+    ingestion relies on for byte-identical re-encoding of remote data.
+    """
+    if language is not None and datatype is not None:
+        raise ValueError("a literal has a language tag or a datatype, not both")
+    suffix = ""
+    if language:
+        suffix = f"@{language}"
+    elif datatype:
+        suffix = f"^^<{datatype}>"
+    return f'"{_escape(value)}"{suffix}'
+
+
 def serialize_term(term: str) -> str:
     """Render a stored term in N-Triples surface syntax.
 

@@ -13,6 +13,16 @@ small enough to crib for any script::
 Every method raises :class:`ServerError` (carrying the HTTP status and
 decoded error body) on a non-2xx response, so callers never parse error
 strings out of band.
+
+Resilience (shared :mod:`repro.core.retry` machinery, seeded jitter so
+delay sequences reproduce):
+
+* idempotent GETs transparently retry on *transient connection* errors
+  (refused/reset/unreachable — never on HTTP error statuses, which are
+  real answers);
+* :meth:`ServerClient.submit` retries a 429 (queue full) within the
+  bounded retry budget, honoring the server's ``Retry-After`` hint —
+  safe because submission is fingerprint-deduplicated server-side.
 """
 
 from __future__ import annotations
@@ -21,39 +31,109 @@ import json
 import time
 import urllib.error
 import urllib.request
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
+from repro.core.retry import RetryPolicy
 from repro.server.store import TERMINAL_STATES
 
-__all__ = ["ServerClient", "ServerError"]
+__all__ = ["DEFAULT_CLIENT_RETRY", "ServerClient", "ServerError"]
+
+#: Conservative default: 2 retries, 50 ms → 200 ms with ±50% seeded
+#: jitter, hints capped at 1 s.  Enough to ride out a server restart or
+#: a queue-full blip without turning a dead server into a long hang.
+DEFAULT_CLIENT_RETRY = RetryPolicy(
+    max_retries=2,
+    backoff_seconds=0.05,
+    backoff_factor=2.0,
+    max_backoff_seconds=1.0,
+    jitter=0.5,
+    seed=0,
+)
 
 
 class ServerError(RuntimeError):
     """A non-2xx server response (or an unreachable server)."""
 
     def __init__(self, message: str, status: Optional[int] = None,
-                 payload: Optional[Dict[str, Any]] = None) -> None:
+                 payload: Optional[Dict[str, Any]] = None,
+                 retry_after_header: Optional[str] = None) -> None:
         super().__init__(message)
         self.status = status
         self.payload = payload or {}
+        self.retry_after_header = retry_after_header
 
     @property
     def retry_after(self) -> Optional[int]:
-        """Server's backoff hint on a 429, in seconds."""
+        """Server's backoff hint on a 429, in seconds.
+
+        Prefers the JSON body's ``retry_after`` field; falls back to the
+        HTTP ``Retry-After`` response header, so the hint survives even
+        when a proxy or a non-JSON error path produced the 429.
+        """
         value = self.payload.get("retry_after")
-        return int(value) if value is not None else None
+        if value is None:
+            value = self.retry_after_header
+        if value is None:
+            return None
+        try:
+            return int(float(value))
+        except (TypeError, ValueError):
+            return None
 
 
 class ServerClient:
-    """Minimal JSON-over-HTTP client; one instance per server."""
+    """Minimal JSON-over-HTTP client; one instance per server.
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    ``retry`` tunes the transient-GET/429-submit retry schedule (pass
+    ``RetryPolicy(max_retries=0)`` to disable retries entirely);
+    ``sleeper`` injects the backoff wait for tests.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0,
+                 retry: Optional[RetryPolicy] = None,
+                 sleeper: Callable[[float], None] = time.sleep) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retry = retry if retry is not None else DEFAULT_CLIENT_RETRY
+        self._sleep = sleeper
+        #: Transparent retries performed, by cause (a test/debug surface).
+        self.transient_retries = 0
+        self.submit_retries = 0
 
     # -- transport -----------------------------------------------------
 
     def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        raw: bool = False,
+    ) -> Any:
+        """One endpoint call; transparent bounded retry for GET transients.
+
+        Only connection-level failures (``status is None``) of idempotent
+        GETs are retried here — an HTTP error status is the server's
+        actual answer and is raised as-is.
+        """
+        retry_number = 0
+        while True:
+            try:
+                return self._request_once(method, path, body=body, raw=raw)
+            except ServerError as error:
+                if (
+                    method == "GET"
+                    and error.status is None
+                    and retry_number < self.retry.max_retries
+                ):
+                    retry_number += 1
+                    self.transient_retries += 1
+                    self._sleep(
+                        self.retry.delay(retry_number, key=f"{method} {path}")
+                    )
+                    continue
+                raise
+
+    def _request_once(
         self,
         method: str,
         path: str,
@@ -82,6 +162,7 @@ class ServerClient:
                 f"{payload.get('error', 'unknown error')}",
                 status=error.code,
                 payload=payload,
+                retry_after_header=error.headers.get("Retry-After"),
             ) from None
         except (urllib.error.URLError, OSError) as error:
             raise ServerError(f"{method} {path} failed: {error}") from error
@@ -107,8 +188,31 @@ class ServerClient:
         required; ``support_threshold``, ``scale``, ``scope``,
         ``variant``, ``parallelism``, ``storage``, ``executor``,
         ``workers`` optional).
+
+        A 429 (queue full) is retried within the bounded retry budget,
+        waiting at least the server's ``Retry-After`` hint (capped by the
+        policy's backoff ceiling) with seeded jitter.  Resubmission is
+        safe: identical requests fingerprint-join the existing job
+        server-side.  Once the budget is spent, the 429 propagates.
         """
-        response = self._request("POST", "/jobs", body=fields)
+        retry_number = 0
+        while True:
+            try:
+                response = self._request("POST", "/jobs", body=fields)
+                break
+            except ServerError as error:
+                if error.status == 429 and retry_number < self.retry.max_retries:
+                    retry_number += 1
+                    self.submit_retries += 1
+                    self._sleep(
+                        self.retry.delay_with_hint(
+                            retry_number,
+                            key="POST /jobs",
+                            hint=error.retry_after,
+                        )
+                    )
+                    continue
+                raise
         job = response["job"]
         job["cache"] = response["cache"]
         return job

@@ -281,6 +281,17 @@ class JobService:
 
     def _validate_dataset(self, request: JobRequest) -> None:
         spec = request.dataset
+        if spec.startswith("endpoint:"):
+            url = spec[len("endpoint:") :]
+            # Admission-time sanity only — reachability is the worker's
+            # problem (the endpoint may be down now and healthy at run
+            # time; the federation client handles both).
+            if url.startswith(("http://", "https://")):
+                return
+            raise BadRequestError(
+                f"bad endpoint dataset {request.dataset!r}: expected "
+                f"endpoint:http(s)://host[:port]/path"
+            )
         if spec.startswith("dataset:"):
             spec = spec[len("dataset:") :]
         if any(key.lower() == spec.lower() for key in DATASETS):
@@ -291,7 +302,8 @@ class JobService:
             return
         raise BadRequestError(
             f"unknown dataset {request.dataset!r}: expected a registry name "
-            f"({', '.join(DATASETS)}) or a server-local N-Triples/Turtle file"
+            f"({', '.join(DATASETS)}), a server-local N-Triples/Turtle "
+            f"file, or endpoint:<SPARQL endpoint URL>"
         )
 
     # -- queries -------------------------------------------------------

@@ -93,9 +93,13 @@ def _load_dataset(request: JobRequest, snapshot_dir: Optional[str] = None):
     from repro.cli import _load_input
 
     spec = request.dataset
-    if not spec.startswith("dataset:") and not os.path.exists(spec):
+    if (
+        not spec.startswith(("dataset:", "endpoint:"))
+        and not os.path.exists(spec)
+    ):
         # Bare registry names are accepted in requests; normalize to the
-        # loader's explicit form.
+        # loader's explicit form.  (endpoint: refs pass through to the
+        # loader's federation path untouched.)
         spec = f"dataset:{spec}"
     return _load_input(
         spec,

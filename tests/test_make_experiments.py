@@ -68,6 +68,6 @@ class TestRendering:
             "Figure 14", "Section 8.6", "Storage encoding",
             "Snapshot load", "Vectorized kernels", "Parallel scaling",
             "Fault recovery", "Spilling shuffle", "Checkpoint/resume",
-            "Server cache", "Streaming maintenance",
+            "Server cache", "Streaming maintenance", "Federation ingest",
         }
         assert set(VERDICTS) == expected

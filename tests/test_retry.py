@@ -1,0 +1,181 @@
+"""The shared retry machinery: one backoff schedule, three subsystems.
+
+PR 10 extracted :class:`repro.core.retry.RetryPolicy` out of the
+dataflow fault layer so the federation client and the job-server client
+retry with the *same* seeded-jitter mathematics.  The contract under
+test: for a fixed (seed, key) the delay sequence is a pure function —
+identical across instances, processes, and consumers — and ``jitter=0``
+reproduces the legacy dataflow schedule exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.retry import RetryPolicy, SimulatedClock, unit_draw
+
+
+class TestUnitDraw:
+    def test_deterministic_and_uniform_range(self):
+        draws = [unit_draw(7, f"k{i}") for i in range(200)]
+        assert draws == [unit_draw(7, f"k{i}") for i in range(200)]
+        assert all(0.0 <= value < 1.0 for value in draws)
+        # Not degenerate: distinct keys give distinct values.
+        assert len(set(draws)) > 190
+
+    def test_seed_and_key_both_matter(self):
+        assert unit_draw(1, "a") != unit_draw(2, "a")
+        assert unit_draw(1, "a") != unit_draw(1, "b")
+
+
+class TestRetryPolicySchedule:
+    def test_no_jitter_is_capped_exponential(self):
+        policy = RetryPolicy(
+            max_retries=6, backoff_seconds=0.05, backoff_factor=2.0,
+            max_backoff_seconds=0.3, jitter=0.0,
+        )
+        assert policy.delays() == pytest.approx(
+            [0.05, 0.1, 0.2, 0.3, 0.3, 0.3]
+        )
+
+    def test_jitter_is_deterministic_per_seed_and_key(self):
+        one = RetryPolicy(max_retries=5, jitter=0.5, seed=11)
+        two = RetryPolicy(max_retries=5, jitter=0.5, seed=11)
+        assert one.delays(key="x") == two.delays(key="x")
+        assert one.delays(key="x") != one.delays(key="y")
+        assert one.delays(key="x") != RetryPolicy(
+            max_retries=5, jitter=0.5, seed=12
+        ).delays(key="x")
+
+    def test_jitter_stays_within_fraction(self):
+        policy = RetryPolicy(
+            max_retries=50, backoff_seconds=0.1, backoff_factor=1.0,
+            jitter=0.25, seed=3,
+        )
+        for retry_number in range(1, 51):
+            delay = policy.delay(retry_number, key="bounds")
+            assert 0.075 <= delay <= 0.125
+
+    def test_delay_with_hint_honors_and_caps_the_hint(self):
+        policy = RetryPolicy(
+            max_retries=3, backoff_seconds=0.05, jitter=0.0,
+            max_backoff_seconds=2.0,
+        )
+        # hint above the computed delay wins...
+        assert policy.delay_with_hint(1, hint=1.5) == pytest.approx(1.5)
+        # ...but never beyond the policy ceiling,
+        assert policy.delay_with_hint(1, hint=60.0) == pytest.approx(2.0)
+        # and a tiny hint never shrinks the backoff.
+        assert policy.delay_with_hint(1, hint=0.001) == pytest.approx(0.05)
+        assert policy.delay_with_hint(1, hint=None) == pytest.approx(0.05)
+
+
+class TestCallLoop:
+    def test_retries_then_succeeds_with_recorded_delays(self):
+        policy = RetryPolicy(max_retries=3, backoff_seconds=0.05, jitter=0.4, seed=5)
+        attempts = []
+        slept = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise OSError("transient")
+            return "done"
+
+        assert policy.call(flaky, key="job", sleeper=slept.append) == "done"
+        assert len(attempts) == 3
+        assert slept == [policy.delay(1, key="job"), policy.delay(2, key="job")]
+
+    def test_budget_exhaustion_raises_last_error(self):
+        policy = RetryPolicy(max_retries=2, backoff_seconds=0.01, jitter=0.0)
+        calls = []
+
+        def always_fails():
+            calls.append(1)
+            raise ValueError("nope")
+
+        with pytest.raises(ValueError, match="nope"):
+            policy.call(always_fails, sleeper=lambda _s: None)
+        assert len(calls) == 3  # 1 try + 2 retries
+
+    def test_non_retryable_fails_fast(self):
+        class Picky(RetryPolicy):
+            def is_retryable(self, error):
+                return not isinstance(error, KeyError)
+
+        calls = []
+
+        def fails():
+            calls.append(1)
+            raise KeyError("fatal")
+
+        with pytest.raises(KeyError):
+            Picky(max_retries=5).call(fails, sleeper=lambda _s: None)
+        assert len(calls) == 1
+
+
+class TestCrossSubsystemDeterminism:
+    """Same seed ⇒ identical backoff sequences in every consumer."""
+
+    def test_dataflow_policy_is_the_shared_policy(self):
+        from repro.dataflow.faults import RetryPolicy as DataflowRetryPolicy
+
+        assert issubclass(DataflowRetryPolicy, RetryPolicy)
+        shared = RetryPolicy(max_retries=4, jitter=0.3, seed=9)
+        dataflow = DataflowRetryPolicy(max_retries=4, jitter=0.3, seed=9)
+        assert shared.delays(key="t") == dataflow.delays(key="t")
+
+    def test_federation_client_sleeps_the_policy_schedule(self):
+        from repro.federation.client import SparqlEndpointClient
+        from repro.federation.errors import TransientEndpointError
+
+        policy = RetryPolicy(
+            max_retries=3, backoff_seconds=0.05, jitter=0.5, seed=21,
+        )
+        slept = []
+
+        def dead_opener(request, timeout=None):
+            raise ConnectionResetError("scripted")
+
+        client = SparqlEndpointClient(
+            "http://ep.test/sparql", timeout=1.0, retry=policy,
+            sleeper=slept.append, opener=dead_opener,
+        )
+        with pytest.raises(TransientEndpointError):
+            client.select("SELECT ?s ?p ?o WHERE { ?s ?p ?o }")
+        assert slept == [
+            policy.delay(n, key="http://ep.test/sparql") for n in (1, 2, 3)
+        ]
+
+    def test_server_client_sleeps_the_policy_schedule(self):
+        from repro.server.client import ServerClient, ServerError
+
+        policy = RetryPolicy(
+            max_retries=2, backoff_seconds=0.05, jitter=0.5, seed=21,
+        )
+        slept = []
+        # Port 9 on localhost: nothing listens; every GET is a transient.
+        client = ServerClient(
+            "http://127.0.0.1:9", timeout=0.2, retry=policy,
+            sleeper=slept.append,
+        )
+        with pytest.raises(ServerError):
+            client.healthz()
+        assert client.transient_retries == 2
+        assert slept == [policy.delay(n, key="GET /healthz") for n in (1, 2)]
+
+    def test_same_seed_same_key_same_sequence_everywhere(self):
+        """The cross-consumer invariant, stated directly."""
+        policy = RetryPolicy(max_retries=5, jitter=0.5, seed=77)
+        reference = [policy.delay(n, key="shared") for n in range(1, 6)]
+        assert policy.delays(key="shared") == reference
+        again = RetryPolicy(max_retries=5, jitter=0.5, seed=77)
+        assert again.delays(key="shared") == reference
+
+
+class TestSimulatedClock:
+    def test_accumulates_sleeps(self):
+        clock = SimulatedClock()
+        clock.sleep(0.5)
+        clock.sleep(0.25)
+        assert clock.elapsed == pytest.approx(0.75)

@@ -1,0 +1,230 @@
+"""ServerClient resilience: transparent GET retries and 429 backoff.
+
+Regression surface for the PR 10 satellites on the job-server client:
+
+* idempotent GETs retry transparently on connection-level transients
+  (never on HTTP error statuses — those are real answers);
+* ``submit()`` retries a 429 within the bounded budget, honoring the
+  server's ``Retry-After`` hint;
+* :attr:`ServerError.retry_after` falls back to the HTTP ``Retry-After``
+  header when the 429 body is not JSON (proxies, plain-text error
+  paths), so the hint survives non-JSON error responses.
+
+The scripted HTTP server below answers each request from a directive
+list, which keeps every scenario offline and deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.core.retry import RetryPolicy
+from repro.server.client import ServerClient, ServerError
+
+
+class ScriptedServer:
+    """Answers requests from a directive list; then repeats the last one.
+
+    Directives: ``("json", status, payload_dict)`` or
+    ``("plain", status, body_str)``; both send ``Retry-After`` when
+    ``retry_after`` is not None.
+    """
+
+    def __init__(self, directives):
+        self.directives = list(directives)
+        self.requests = []
+        self._lock = threading.Lock()
+        self._server = None
+        self._thread = None
+
+    def _next(self, method, path):
+        with self._lock:
+            self.requests.append((method, path))
+            index = min(len(self.requests) - 1, len(self.directives) - 1)
+            return self.directives[index]
+
+    @property
+    def url(self):
+        return f"http://127.0.0.1:{self._server.server_address[1]}"
+
+    def __enter__(self):
+        script = self
+
+        class Handler(BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+
+            def log_message(self, format, *args):  # noqa: A002
+                pass
+
+            def _answer(self):
+                kind, status, payload, retry_after = script._next(
+                    self.command, self.path
+                )
+                if kind == "json":
+                    body = json.dumps(payload).encode("utf-8")
+                    content_type = "application/json"
+                else:
+                    body = str(payload).encode("utf-8")
+                    content_type = "text/plain"
+                self.send_response(status)
+                if retry_after is not None:
+                    self.send_header("Retry-After", str(retry_after))
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            do_GET = do_POST = _answer
+
+        self._server = ThreadingHTTPServer(("127.0.0.1", 0), Handler)
+        self._server.daemon_threads = True
+        self._server.block_on_close = False
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info):
+        self._server.shutdown()
+        self._server.server_close()
+
+
+NO_RETRY = RetryPolicy(max_retries=0)
+FAST_RETRY = RetryPolicy(
+    max_retries=2, backoff_seconds=0.001, max_backoff_seconds=0.01, jitter=0.0
+)
+
+
+class TestRetryAfterHeaderFallback:
+    def test_json_body_hint_wins(self):
+        directives = [
+            ("json", 429, {"error": "queue is full", "retry_after": 7}, 9),
+        ]
+        with ScriptedServer(directives) as server:
+            client = ServerClient(server.url, timeout=2.0, retry=NO_RETRY)
+            with pytest.raises(ServerError) as excinfo:
+                client.submit(dataset="Countries")
+        assert excinfo.value.status == 429
+        assert excinfo.value.retry_after == 7  # body beats header
+
+    def test_non_json_429_falls_back_to_header(self):
+        """The regression: a plain-text 429 (proxy, non-JSON error path)
+        must still surface the Retry-After header as the hint."""
+        directives = [("plain", 429, "Too Many Requests", 5)]
+        with ScriptedServer(directives) as server:
+            client = ServerClient(server.url, timeout=2.0, retry=NO_RETRY)
+            with pytest.raises(ServerError) as excinfo:
+                client.submit(dataset="Countries")
+        error = excinfo.value
+        assert error.status == 429
+        assert error.payload == {"error": "Too Many Requests"}
+        assert error.retry_after_header == "5"
+        assert error.retry_after == 5
+
+    def test_no_hint_anywhere_is_none(self):
+        directives = [("plain", 429, "slow down", None)]
+        with ScriptedServer(directives) as server:
+            client = ServerClient(server.url, timeout=2.0, retry=NO_RETRY)
+            with pytest.raises(ServerError) as excinfo:
+                client.submit(dataset="Countries")
+        assert excinfo.value.retry_after is None
+
+    def test_unparseable_hint_is_none(self):
+        error = ServerError("x", status=429, retry_after_header="soon")
+        assert error.retry_after is None
+
+
+class TestSubmitRetry:
+    def test_429_then_success_retries_with_hint(self):
+        queued = {"error": "queue is full", "retry_after": 0.001}
+        accepted = {
+            "job": {"id": "j1", "state": "queued"},
+            "cache": "miss",
+        }
+        directives = [
+            ("plain", 429, "Too Many Requests", 0.001),  # header-only hint
+            ("json", 429, queued, 0.001),                # body hint
+            ("json", 200, accepted, None),
+        ]
+        slept = []
+        with ScriptedServer(directives) as server:
+            client = ServerClient(
+                server.url, timeout=2.0, retry=FAST_RETRY,
+                sleeper=slept.append,
+            )
+            job = client.submit(dataset="Countries", support_threshold=5)
+        assert job["id"] == "j1" and job["cache"] == "miss"
+        assert client.submit_retries == 2
+        # Both waits honored a hint: retry_after 0.001 truncates to int 0,
+        # so the policy floor (its own backoff) is what gets slept.
+        assert slept == [
+            FAST_RETRY.delay_with_hint(1, key="POST /jobs", hint=0),
+            FAST_RETRY.delay_with_hint(2, key="POST /jobs", hint=0),
+        ]
+
+    def test_budget_exhaustion_raises_the_429(self):
+        directives = [("json", 429, {"error": "full", "retry_after": 0}, 0)]
+        slept = []
+        with ScriptedServer(directives) as server:
+            client = ServerClient(
+                server.url, timeout=2.0, retry=FAST_RETRY,
+                sleeper=slept.append,
+            )
+            with pytest.raises(ServerError) as excinfo:
+                client.submit(dataset="Countries")
+        assert excinfo.value.status == 429
+        assert client.submit_retries == 2  # budget spent, then raised
+        assert len(slept) == 2
+
+    def test_non_429_errors_are_not_retried(self):
+        directives = [("json", 400, {"error": "unknown dataset"}, None)]
+        with ScriptedServer(directives) as server:
+            client = ServerClient(server.url, timeout=2.0, retry=FAST_RETRY)
+            with pytest.raises(ServerError) as excinfo:
+                client.submit(dataset="nope")
+        assert excinfo.value.status == 400
+        assert client.submit_retries == 0
+
+
+class TestTransientGetRetry:
+    def test_get_retries_connection_errors_then_succeeds(self):
+        # A server that only exists for the final attempt cannot be
+        # scripted with one listener; instead: dead port → budget spent.
+        policy = RetryPolicy(max_retries=2, backoff_seconds=0.001, jitter=0.0)
+        slept = []
+        client = ServerClient(
+            "http://127.0.0.1:9", timeout=0.2, retry=policy,
+            sleeper=slept.append,
+        )
+        with pytest.raises(ServerError) as excinfo:
+            client.healthz()
+        assert excinfo.value.status is None  # connection-level, no HTTP answer
+        assert client.transient_retries == 2
+        assert slept == [
+            policy.delay(1, key="GET /healthz"),
+            policy.delay(2, key="GET /healthz"),
+        ]
+
+    def test_http_error_statuses_are_not_retried_on_get(self):
+        directives = [("json", 404, {"error": "no such job"}, None)]
+        with ScriptedServer(directives) as server:
+            client = ServerClient(server.url, timeout=2.0, retry=FAST_RETRY)
+            with pytest.raises(ServerError) as excinfo:
+                client.job("missing")
+        assert excinfo.value.status == 404
+        assert client.transient_retries == 0
+        assert len(server.requests) == 1  # exactly one attempt
+
+    def test_post_connection_errors_are_not_retried(self):
+        client = ServerClient(
+            "http://127.0.0.1:9", timeout=0.2, retry=FAST_RETRY,
+            sleeper=lambda _s: None,
+        )
+        with pytest.raises(ServerError):
+            client.cancel("j1")  # POST: not idempotent, no transparent retry
+        assert client.transient_retries == 0
